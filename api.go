@@ -1,0 +1,300 @@
+package hfxmd
+
+import (
+	"io"
+
+	"hfxmd/internal/basis"
+	"hfxmd/internal/bgq"
+	"hfxmd/internal/chem"
+	"hfxmd/internal/dft"
+	"hfxmd/internal/hfx"
+	"hfxmd/internal/integrals"
+	"hfxmd/internal/linalg"
+	"hfxmd/internal/md"
+	"hfxmd/internal/opt"
+	"hfxmd/internal/scf"
+	"hfxmd/internal/sched"
+	"hfxmd/internal/screen"
+	"hfxmd/internal/torus"
+)
+
+// ---------------------------------------------------------------------------
+// Chemistry layer.
+
+// Molecule is a set of atoms with charge and optional periodic cell.
+type Molecule = chem.Molecule
+
+// Atom is a nucleus with element and position (bohr).
+type Atom = chem.Atom
+
+// Vec3 is a Cartesian vector in bohr.
+type Vec3 = chem.Vec3
+
+// Element identifies a chemical element.
+type Element = chem.Element
+
+// Cell is an orthorhombic periodic box.
+type Cell = chem.Cell
+
+// Geometry builders for the paper's systems.
+var (
+	Water              = chem.Water
+	WaterCluster       = chem.WaterCluster
+	PeriodicWaterBox   = chem.PeriodicWaterBox
+	Hydrogen           = chem.Hydrogen
+	Helium             = chem.Helium
+	LithiumHydride     = chem.LithiumHydride
+	LithiumFluoride    = chem.LithiumFluoride
+	Methane            = chem.Methane
+	PropyleneCarbonate = chem.PropyleneCarbonate
+	DimethylSulfoxide  = chem.DimethylSulfoxide
+	LithiumPeroxide    = chem.LithiumPeroxide
+	SolvatedPeroxide   = chem.SolvatedPeroxide
+)
+
+// ReadXYZ parses a molecule from XYZ (coordinates in ångström).
+func ReadXYZ(r io.Reader) (*Molecule, error) { return chem.ReadXYZ(r) }
+
+// WriteXYZ writes a molecule in XYZ format.
+func WriteXYZ(w io.Writer, m *Molecule) error { return chem.WriteXYZ(w, m) }
+
+// ---------------------------------------------------------------------------
+// Electronic-structure layer.
+
+// Matrix is the dense matrix type used throughout the library.
+type Matrix = linalg.Matrix
+
+// BasisSet is an instantiated basis.
+type BasisSet = basis.Set
+
+// BuildBasis instantiates a named built-in basis set ("STO-3G", "3-21G",
+// "6-31G") on a molecule.
+func BuildBasis(name string, mol *Molecule) (*BasisSet, error) { return basis.Build(name, mol) }
+
+// AvailableBasisSets lists the built-in basis set names.
+func AvailableBasisSets() []string { return basis.Available() }
+
+// Functional is a density functional (HF, LDA, PBE, PBE0).
+type Functional = dft.Functional
+
+// The supported model chemistries.
+type (
+	// HF selects pure Hartree–Fock.
+	HF = dft.HF
+	// LDA selects SVWN5.
+	LDA = dft.LDA
+	// PBE selects the PBE GGA.
+	PBE = dft.PBE
+	// PBE0 selects the paper's hybrid: ¼ exact + ¾ PBE exchange.
+	PBE0 = dft.PBE0
+)
+
+// FunctionalByName resolves "HF", "LDA", "PBE" or "PBE0".
+func FunctionalByName(name string) (Functional, bool) { return dft.ByName(name) }
+
+// SCFConfig configures an SCF run.
+type SCFConfig = scf.Config
+
+// SCFResult is a converged (or not) SCF state.
+type SCFResult = scf.Result
+
+// GridSpec controls the DFT integration grid.
+type GridSpec = dft.GridSpec
+
+// RunSCF performs a restricted SCF calculation.
+func RunSCF(mol *Molecule, cfg SCFConfig) (*SCFResult, error) { return scf.Run(mol, cfg) }
+
+// UHFResult is an unrestricted (open-shell) SCF result.
+type UHFResult = scf.UnrestrictedResult
+
+// RunUHF performs a spin-unrestricted Hartree–Fock calculation for the
+// given multiplicity (2S+1; 0 picks the lowest consistent value). Needed
+// for the open-shell intermediates of Li/air chemistry (O2⁻, LiO2).
+func RunUHF(mol *Molecule, cfg SCFConfig, multiplicity int) (*UHFResult, error) {
+	return scf.RunUnrestricted(mol, cfg, multiplicity)
+}
+
+// MullikenCharges returns per-atom partial charges for a converged result.
+func MullikenCharges(res *SCFResult) []float64 {
+	return scf.MullikenCharges(res, integrals.NewEngine(res.Set))
+}
+
+// DipoleMoment returns the dipole vector (a.u.) for a converged result.
+func DipoleMoment(res *SCFResult) [3]float64 {
+	return scf.Dipole(res, integrals.NewEngine(res.Set))
+}
+
+// ---------------------------------------------------------------------------
+// Exchange layer (the paper's core contribution).
+
+// ExchangeOptions configures the task-parallel HFX builder.
+type ExchangeOptions = hfx.Options
+
+// ExchangeReport describes one exchange build.
+type ExchangeReport = hfx.Report
+
+// ScreeningOptions controls integral screening (threshold ε etc.).
+type ScreeningOptions = screen.Options
+
+// PaperExchangeOptions returns the paper's production configuration
+// (LPT balancing, density-weighted screening, vector kernels).
+func PaperExchangeOptions() ExchangeOptions { return hfx.DefaultOptions() }
+
+// BaselineExchangeOptions returns the state-of-the-art comparator.
+func BaselineExchangeOptions() ExchangeOptions { return hfx.BaselineOptions() }
+
+// DefaultScreening returns the production screening options (ε = 1e-8).
+func DefaultScreening() ScreeningOptions { return screen.DefaultOptions() }
+
+// ExchangeBuilder evaluates J and K matrices for a fixed geometry.
+type ExchangeBuilder struct {
+	b *hfx.Builder
+}
+
+// NewExchangeBuilder prepares the screened task decomposition for a
+// molecule and basis.
+func NewExchangeBuilder(mol *Molecule, basisName string, sopts ScreeningOptions, opts ExchangeOptions) (*ExchangeBuilder, error) {
+	set, err := basis.Build(basisName, mol)
+	if err != nil {
+		return nil, err
+	}
+	eng := integrals.NewEngine(set)
+	scr := screen.BuildPairList(eng, sopts)
+	return &ExchangeBuilder{b: hfx.NewBuilder(eng, scr, opts)}, nil
+}
+
+// BuildJK evaluates the Coulomb and exchange matrices for density p.
+func (e *ExchangeBuilder) BuildJK(p *Matrix) (j, k *Matrix, rep ExchangeReport) {
+	return e.b.BuildJK(p)
+}
+
+// NBasis returns the basis dimension of the builder.
+func (e *ExchangeBuilder) NBasis() int { return e.b.Eng.Basis.NBasis }
+
+// ---------------------------------------------------------------------------
+// Dynamics layer.
+
+// MDOptions configures a BOMD trajectory.
+type MDOptions = md.Options
+
+// Trajectory is an MD run result.
+type Trajectory = md.Trajectory
+
+// Frame is one trajectory snapshot.
+type Frame = md.Frame
+
+// ScanPoint is one point of a reaction-coordinate profile.
+type ScanPoint = md.ScanPoint
+
+// PotentialFunc maps a geometry to an energy.
+type PotentialFunc = md.PotentialFunc
+
+// SCFPotential adapts an SCF configuration into an MD potential.
+func SCFPotential(cfg SCFConfig) PotentialFunc { return md.SCFPotential(cfg) }
+
+// RunMD integrates a Born–Oppenheimer trajectory.
+func RunMD(mol *Molecule, pot PotentialFunc, opts MDOptions) (*Trajectory, error) {
+	return md.Run(mol, pot, opts)
+}
+
+// DistanceScan computes a constrained approach/dissociation profile.
+func DistanceScan(mol *Molecule, pot PotentialFunc, i, j, fragStart int, coords []float64) ([]ScanPoint, error) {
+	return md.DistanceScan(mol, pot, i, j, fragStart, coords)
+}
+
+// OptimizeOptions configures geometry minimisation.
+type OptimizeOptions = opt.Options
+
+// OptimizeResult is a relaxed structure.
+type OptimizeResult = opt.Result
+
+// Optimize relaxes a geometry on the given potential surface (FIRE).
+func Optimize(mol *Molecule, pot PotentialFunc, opts OptimizeOptions) (*OptimizeResult, error) {
+	return opt.Minimize(mol, pot, opts)
+}
+
+// BarrierHeight extracts the maximum relative energy of a profile.
+func BarrierHeight(pts []ScanPoint) float64 { return md.BarrierHeight(pts) }
+
+// ReactionEnergy returns E(last) − E(first) of a profile.
+func ReactionEnergy(pts []ScanPoint) float64 { return md.ReactionEnergy(pts) }
+
+// ---------------------------------------------------------------------------
+// Machine layer (BG/Q simulator).
+
+// Machine is a simulated BG/Q partition.
+type Machine = bgq.Machine
+
+// TorusShape is a 5-D torus partition shape.
+type TorusShape = torus.Shape
+
+// MachineWorkload describes one HFX build for the simulator.
+type MachineWorkload = bgq.Workload
+
+// SimOptions selects the simulated execution scheme.
+type SimOptions = bgq.SimOptions
+
+// SimResult is a simulated build outcome.
+type SimResult = bgq.SimResult
+
+// ScalePoint is one row of a strong-scaling study.
+type ScalePoint = bgq.ScalePoint
+
+// NewMachine creates a BG/Q partition of the given rack count (1–96).
+func NewMachine(racks int) (*Machine, error) { return bgq.New(racks) }
+
+// CondensedPhaseWorkload synthesises the screened HFX workload of an
+// (H2O)_n liquid-density system (see DESIGN.md for the calibration).
+func CondensedPhaseWorkload(nWater, taskTarget int, seed int64) *MachineWorkload {
+	return bgq.CondensedPhaseWorkload(nWater, taskTarget, seed)
+}
+
+// BaselineWorkload synthesises the state-of-the-art pair-distributed
+// decomposition of the same system.
+func BaselineWorkload(nWater int, seed int64) *MachineWorkload {
+	return bgq.BaselineWorkload(nWater, seed)
+}
+
+// PaperScheme returns the paper's simulated execution configuration.
+func PaperScheme() SimOptions { return bgq.PaperScheme() }
+
+// BaselineScheme returns the comparator's execution configuration.
+func BaselineScheme() SimOptions { return bgq.BaselineScheme() }
+
+// StrongScaling runs a workload across rack counts and reports speedup
+// and parallel efficiency.
+func StrongScaling(w *MachineWorkload, racks []int, opts SimOptions) ([]ScalePoint, error) {
+	return bgq.StrongScaling(w, racks, opts)
+}
+
+// WeakScaling grows the simulated system proportionally with the machine
+// and reports the per-build times (flat = ideal).
+func WeakScaling(watersPerRack, tasksPerRack int, racks []int, seed int64, opts SimOptions) ([]ScalePoint, error) {
+	return bgq.WeakScaling(watersPerRack, tasksPerRack, racks, seed, opts)
+}
+
+// SaturationThreads returns the largest useful thread count of a study.
+func SaturationThreads(pts []ScalePoint) int { return bgq.SaturationThreads(pts) }
+
+// MDCampaign describes a hybrid-functional MD production run for the
+// feasibility analysis (the paper's motivating scenario).
+type MDCampaign = bgq.MDCampaign
+
+// CampaignResult summarises a simulated MD campaign.
+type CampaignResult = bgq.CampaignResult
+
+// FeasibilityTable reports the time per MD step across machine sizes.
+func FeasibilityTable(c MDCampaign, racks []int, opts SimOptions) ([]CampaignResult, error) {
+	return bgq.FeasibilityTable(c, racks, opts)
+}
+
+// BalanceAlgorithm names a static load-balancing strategy.
+type BalanceAlgorithm = sched.Algorithm
+
+// The available balancing strategies.
+const (
+	BalanceBlock      = sched.Block
+	BalanceRoundRobin = sched.RoundRobin
+	BalanceLPT        = sched.LPT
+	BalanceSteal      = sched.Steal
+)

@@ -1,0 +1,120 @@
+package hfxmd_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"hfxmd"
+)
+
+func TestFacadeSCFWater(t *testing.T) {
+	res, err := hfxmd.RunSCF(hfxmd.Water(), hfxmd.SCFConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("not converged")
+	}
+	if math.Abs(res.Energy-(-74.963)) > 5e-3 {
+		t.Fatalf("energy %f", res.Energy)
+	}
+	q := hfxmd.MullikenCharges(res)
+	if len(q) != 3 {
+		t.Fatalf("charges %v", q)
+	}
+	mu := hfxmd.DipoleMoment(res)
+	if mu[2] <= 0 {
+		t.Fatalf("dipole %v", mu)
+	}
+}
+
+func TestFacadeXYZRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := hfxmd.WriteXYZ(&buf, hfxmd.PropyleneCarbonate()); err != nil {
+		t.Fatal(err)
+	}
+	m, err := hfxmd.ReadXYZ(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Formula() != "C4H6O3" {
+		t.Fatalf("formula %s", m.Formula())
+	}
+}
+
+func TestFacadeBasisRegistry(t *testing.T) {
+	if len(hfxmd.AvailableBasisSets()) != 4 {
+		t.Fatalf("basis sets %v", hfxmd.AvailableBasisSets())
+	}
+	set, err := hfxmd.BuildBasis("6-31G", hfxmd.Water())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.NBasis != 13 {
+		t.Fatalf("6-31G water NBasis %d", set.NBasis)
+	}
+	if _, ok := hfxmd.FunctionalByName("PBE0"); !ok {
+		t.Fatal("PBE0 missing")
+	}
+}
+
+func TestFacadeMachineSim(t *testing.T) {
+	m, err := hfxmd.NewMachine(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Threads() != 131072 {
+		t.Fatalf("threads %d", m.Threads())
+	}
+	w := hfxmd.CondensedPhaseWorkload(64, 1<<12, 1)
+	res := m.Simulate(w, hfxmd.PaperScheme())
+	if res.Total <= 0 {
+		t.Fatalf("sim %+v", res)
+	}
+}
+
+func TestFacadeExchangeBuilderErrors(t *testing.T) {
+	_, err := hfxmd.NewExchangeBuilder(hfxmd.Water(), "NOPE",
+		hfxmd.DefaultScreening(), hfxmd.PaperExchangeOptions())
+	if err == nil {
+		t.Fatal("expected basis error")
+	}
+}
+
+func TestFacadeScanHelpers(t *testing.T) {
+	pts := []hfxmd.ScanPoint{
+		{Coord: 4, Energy: -1.0, Rel: 0.02},
+		{Coord: 3, Energy: -1.02, Rel: 0},
+		{Coord: 2, Energy: -0.9, Rel: 0.12},
+	}
+	if hfxmd.BarrierHeight(pts) != 0.12 {
+		t.Fatal("barrier")
+	}
+	if math.Abs(hfxmd.ReactionEnergy(pts)-0.1) > 1e-12 {
+		t.Fatal("reaction energy")
+	}
+}
+
+// ExampleRunSCF demonstrates the quickstart path; the energy matches the
+// Szabo–Ostlund literature value.
+func ExampleRunSCF() {
+	res, err := hfxmd.RunSCF(hfxmd.Hydrogen(1.4), hfxmd.SCFConfig{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("E(H2, RHF/STO-3G) = %.4f Eh\n", res.Energy)
+	// Output: E(H2, RHF/STO-3G) = -1.1167 Eh
+}
+
+// ExampleNewMachine shows the 96-rack partition of the scaling study.
+func ExampleNewMachine() {
+	m, err := hfxmd.NewMachine(96)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m.Threads(), "hardware threads")
+	// Output: 6291456 hardware threads
+}

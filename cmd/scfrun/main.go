@@ -1,0 +1,147 @@
+// Command scfrun performs a single-point SCF calculation (HF, LDA, PBE or
+// PBE0) on a built-in system or an XYZ file and prints the energy
+// decomposition, orbital spectrum, Mulliken charges and dipole moment.
+//
+// Usage:
+//
+//	scfrun -system water -functional PBE0 -basis STO-3G
+//	scfrun -xyz geometry.xyz -functional HF -threads 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"hfxmd"
+	"hfxmd/internal/phys"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scfrun: ")
+	var (
+		xyzPath    = flag.String("xyz", "", "path to an XYZ geometry (ångström)")
+		system     = flag.String("system", "water", "built-in system: water|h2|he|lih|lif|ch4|pc|dmso|li2o2|watercluster")
+		nwater     = flag.Int("n", 4, "cluster size for -system watercluster")
+		basisName  = flag.String("basis", "STO-3G", "basis set: "+strings.Join(hfxmd.AvailableBasisSets(), "|"))
+		functional = flag.String("functional", "HF", "functional: HF|LDA|PBE|PBE0")
+		threads    = flag.Int("threads", 0, "HFX worker threads (0 = all CPUs)")
+		eps        = flag.Float64("screen", 1e-8, "integral screening threshold")
+		charge     = flag.Int("charge", 0, "total molecular charge")
+		uhf        = flag.Bool("uhf", false, "spin-unrestricted SCF (HF only)")
+		mult       = flag.Int("mult", 0, "spin multiplicity 2S+1 for -uhf (0 = lowest)")
+	)
+	flag.Parse()
+
+	mol, err := pickSystem(*xyzPath, *system, *nwater)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mol.Charge = *charge
+
+	f, ok := hfxmd.FunctionalByName(*functional)
+	if !ok {
+		log.Fatalf("unknown functional %q", *functional)
+	}
+	scropt := hfxmd.DefaultScreening()
+	scropt.Threshold = *eps
+	hfxopt := hfxmd.PaperExchangeOptions()
+	hfxopt.Threads = *threads
+
+	fmt.Printf("System     : %s (%s), charge %d, %d electrons\n",
+		mol.Name, mol.Formula(), mol.Charge, mol.NElectrons())
+	fmt.Printf("Model      : %s/%s, screening ε = %g\n", *functional, *basisName, *eps)
+
+	cfg := hfxmd.SCFConfig{
+		Basis:      *basisName,
+		Functional: f,
+		Screen:     scropt,
+		HFX:        hfxopt,
+	}
+	if *uhf {
+		runUHF(mol, cfg, *mult)
+		return
+	}
+	res, err := hfxmd.RunSCF(mol, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Converged {
+		fmt.Fprintf(os.Stderr, "WARNING: SCF did not converge in %d iterations\n", res.Iterations)
+	}
+
+	fmt.Printf("\nConverged  : %v in %d iterations\n", res.Converged, res.Iterations)
+	fmt.Printf("Total      : %14.8f Eh  (%.4f eV)\n", res.Energy, res.Energy*phys.HartreeToEV)
+	fmt.Printf("  one-el.  : %14.8f Eh\n", res.EOne)
+	fmt.Printf("  Coulomb  : %14.8f Eh\n", res.ECoulomb)
+	fmt.Printf("  HF-X     : %14.8f Eh\n", res.EExchangeHF)
+	fmt.Printf("  XC(grid) : %14.8f Eh\n", res.EXC)
+	fmt.Printf("  nuclear  : %14.8f Eh\n", res.ENuclear)
+	fmt.Printf("HOMO/LUMO  : %10.5f / %10.5f Eh (gap %.4f eV)\n",
+		res.HOMO(), res.LUMO(), res.Gap()*phys.HartreeToEV)
+
+	fmt.Printf("\nHFX build  : %s\n", res.HFXReport)
+
+	mu := hfxmd.DipoleMoment(res)
+	fmt.Printf("Dipole     : (%.4f, %.4f, %.4f) a.u.\n", mu[0], mu[1], mu[2])
+	fmt.Println("\nMulliken charges:")
+	for i, q := range hfxmd.MullikenCharges(res) {
+		fmt.Printf("  %-2s %8.4f\n", mol.Atoms[i].El, q)
+	}
+}
+
+func runUHF(mol *hfxmd.Molecule, cfg hfxmd.SCFConfig, mult int) {
+	res, err := hfxmd.RunUHF(mol, cfg, mult)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Converged {
+		fmt.Fprintf(os.Stderr, "WARNING: UHF did not converge in %d iterations\n", res.Iterations)
+	}
+	fmt.Printf("\nConverged  : %v in %d iterations (UHF, %d alpha / %d beta)\n",
+		res.Converged, res.Iterations, res.NAlpha, res.NBeta)
+	fmt.Printf("Total      : %14.8f Eh  (%.4f eV)\n", res.Energy, res.Energy*phys.HartreeToEV)
+	fmt.Printf("  one-el.  : %14.8f Eh\n", res.EOne)
+	fmt.Printf("  Coulomb  : %14.8f Eh\n", res.ECoulomb)
+	fmt.Printf("  exchange : %14.8f Eh\n", res.EExchange)
+	fmt.Printf("  nuclear  : %14.8f Eh\n", res.ENuclear)
+	fmt.Printf("<S²>       : %8.4f (exact %8.4f)\n", res.S2, res.S2Exact())
+}
+
+func pickSystem(xyzPath, system string, nwater int) (*hfxmd.Molecule, error) {
+	if xyzPath != "" {
+		f, err := os.Open(xyzPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return hfxmd.ReadXYZ(f)
+	}
+	switch strings.ToLower(system) {
+	case "water":
+		return hfxmd.Water(), nil
+	case "h2":
+		return hfxmd.Hydrogen(1.4), nil
+	case "he":
+		return hfxmd.Helium(), nil
+	case "lih":
+		return hfxmd.LithiumHydride(), nil
+	case "lif":
+		return hfxmd.LithiumFluoride(), nil
+	case "ch4":
+		return hfxmd.Methane(), nil
+	case "pc":
+		return hfxmd.PropyleneCarbonate(), nil
+	case "dmso":
+		return hfxmd.DimethylSulfoxide(), nil
+	case "li2o2":
+		return hfxmd.LithiumPeroxide(), nil
+	case "watercluster":
+		return hfxmd.WaterCluster(nwater, 1), nil
+	default:
+		return nil, fmt.Errorf("unknown system %q", system)
+	}
+}

@@ -1,0 +1,120 @@
+// Command solvents reproduces the paper's chemistry result (experiment
+// E8): the stability of Li/air battery electrolyte solvents against
+// attack by the discharge product lithium peroxide (Li2O2).
+//
+// For each solvent it computes a rigid-fragment approach profile of a
+// Li2O2 unit along the solvent's sterically open axis towards the
+// electrophilic centre (the carbonate carbon of propylene carbonate; the
+// sulfur of dimethyl sulfoxide) and reports the interaction energies —
+// the precursor of the degradation pathway the paper identifies for PC
+// and the enhanced stability it predicts for alternative solvents.
+//
+// Usage:
+//
+//	solvents -functional HF -points 5
+//	solvents -functional PBE0 -screen 1e-6   (slower, paper's method)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hfxmd"
+	"hfxmd/internal/phys"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("solvents: ")
+	var (
+		functional = flag.String("functional", "HF", "functional: HF|LDA|PBE|PBE0")
+		basisName  = flag.String("basis", "STO-3G", "basis set")
+		eps        = flag.Float64("screen", 1e-6, "integral screening threshold")
+		points     = flag.Int("points", 5, "number of scan points")
+		rmin       = flag.Float64("rmin", 3.4, "closest approach (bohr)")
+		rmax       = flag.Float64("rmax", 9.0, "farthest approach (bohr)")
+	)
+	flag.Parse()
+
+	f, ok := hfxmd.FunctionalByName(*functional)
+	if !ok {
+		log.Fatalf("unknown functional %q", *functional)
+	}
+	scropt := hfxmd.DefaultScreening()
+	scropt.Threshold = *eps
+	cfg := hfxmd.SCFConfig{
+		Basis:      *basisName,
+		Functional: f,
+		Screen:     scropt,
+		MaxIter:    120,
+		Damping:    0.5, DampIters: 8,
+		LevelShift: 0.3,
+	}
+
+	coords := make([]float64, *points)
+	for i := range coords {
+		coords[i] = *rmax + (*rmin-*rmax)*float64(i)/float64(*points-1)
+	}
+
+	fmt.Printf("Li2O2 attack profiles, %s/%s, ε=%g\n", *functional, *basisName, *eps)
+	type verdict struct {
+		name string
+		well float64 // hartree, most negative relative energy vs separated
+	}
+	var results []verdict
+	for _, solvent := range []string{"PC", "DMSO"} {
+		fmt.Printf("\n--- %s + Li2O2 ---\n%10s %16s %14s\n", solvent, "R [bohr]", "E [Eh]", "ΔE [kcal/mol]")
+		var ref, well float64
+		for i, r := range coords {
+			mol, err := hfxmd.SolvatedPeroxide(solvent, r)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := hfxmd.RunSCF(mol, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !res.Converged {
+				fmt.Printf("%10.2f   (SCF not converged after %d iterations)\n", r, res.Iterations)
+				continue
+			}
+			if i == 0 {
+				ref = res.Energy
+			}
+			rel := res.Energy - ref
+			fmt.Printf("%10.2f %16.8f %14.2f\n", r, res.Energy, rel*phys.HartreeToKcalMol)
+			if rel < well {
+				well = rel
+			}
+		}
+		results = append(results, verdict{solvent, well})
+	}
+
+	fmt.Println("\n=== stability verdict ===")
+	for _, r := range results {
+		fmt.Printf("%-5s Li2O2 encounter well: %8.2f kcal/mol\n", r.name, r.well*phys.HartreeToKcalMol)
+	}
+	// Electrophilicity panel: the degradation pathway is nucleophilic
+	// attack of the peroxide on the solvent, gauged by the LUMO of the
+	// isolated molecule.
+	lumo := map[string]float64{}
+	for _, pair := range []struct {
+		name string
+		mol  *hfxmd.Molecule
+	}{{"PC", hfxmd.PropyleneCarbonate()}, {"DMSO", hfxmd.DimethylSulfoxide()}} {
+		res, err := hfxmd.RunSCF(pair.mol, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lumo[pair.name] = res.LUMO()
+		fmt.Printf("%-5s LUMO (electrophilicity): %8.4f Eh\n", pair.name, res.LUMO())
+	}
+	if lumo["PC"] < lumo["DMSO"] {
+		fmt.Println("PC's low-lying carbonate π* invites nucleophilic attack by the peroxide ->")
+		fmt.Println("degradation-prone; DMSO-class solvents show enhanced stability (paper's conclusion).")
+	} else {
+		fmt.Println("NOTE: at this level of theory the ordering is not resolved;")
+		fmt.Println("the paper resolves it with PBE0 and realistic liquid models.")
+	}
+}

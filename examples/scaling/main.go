@@ -1,0 +1,41 @@
+// Scaling: the headline experiment (E1/E2) through the public API — a
+// strong-scaling study of the paper's HFX scheme from 1 to 96 BG/Q racks
+// (65,536 → 6,291,456 hardware threads) on the simulator, compared
+// against the state-of-the-art baseline decomposition.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hfxmd"
+)
+
+func main() {
+	const waters = 2048
+	paper := hfxmd.CondensedPhaseWorkload(waters, 1<<20, 1)
+	base := hfxmd.BaselineWorkload(waters, 1)
+	racks := []int{1, 4, 16, 64, 96}
+
+	pPts, err := hfxmd.StrongScaling(paper, racks, hfxmd.PaperScheme())
+	if err != nil {
+		log.Fatal(err)
+	}
+	bPts, err := hfxmd.StrongScaling(base, racks, hfxmd.BaselineScheme())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("strong scaling, %s\n\n", paper.Name)
+	fmt.Printf("%6s %10s | %12s %10s | %12s %10s\n",
+		"racks", "threads", "paper [s]", "eff", "baseline [s]", "eff")
+	for i := range pPts {
+		fmt.Printf("%6d %10d | %12.4f %9.1f%% | %12.4f %9.1f%%\n",
+			pPts[i].Racks, pPts[i].Threads,
+			pPts[i].Result.Total, 100*pPts[i].Efficiency,
+			bPts[i].Result.Total, 100*bPts[i].Efficiency)
+	}
+	fmt.Printf("\nuseful threads: paper %d vs baseline %d (%.0fx scalability improvement)\n",
+		hfxmd.SaturationThreads(pPts), hfxmd.SaturationThreads(bPts),
+		float64(hfxmd.SaturationThreads(pPts))/float64(hfxmd.SaturationThreads(bPts)))
+}

@@ -1,0 +1,3 @@
+module hfxmd
+
+go 1.22

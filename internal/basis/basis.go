@@ -1,0 +1,224 @@
+// Package basis implements contracted Cartesian Gaussian basis sets: shell
+// and primitive data structures, normalization, shell-pair preprocessing,
+// and a registry of built-in basis sets (STO-3G, 3-21G, 6-31G) for the
+// elements appearing in the Li/air electrolyte workloads (H, He, Li, Be,
+// B, C, N, O, F, S, Cl).
+//
+// Conventions: a shell of angular momentum L carries (L+1)(L+2)/2
+// Cartesian components ordered lexicographically by decreasing x-power
+// (e.g. p: x,y,z; d: xx,xy,xz,yy,yz,zz). Contraction coefficients stored in
+// Shell.Coefs already include primitive and contracted normalization for
+// the (L,0,0) component; the remaining components of d and higher shells
+// are renormalized inside the integral engine.
+package basis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hfxmd/internal/chem"
+)
+
+// Shell is a contracted Cartesian Gaussian shell centred on an atom.
+type Shell struct {
+	// L is the angular momentum (0=s, 1=p, 2=d).
+	L int
+	// Exps are the primitive exponents, sorted descending.
+	Exps []float64
+	// Coefs are fully normalized contraction coefficients (same length
+	// as Exps).
+	Coefs []float64
+	// Center is the shell origin in bohr.
+	Center chem.Vec3
+	// Atom is the index of the parent atom in the molecule.
+	Atom int
+	// Index is the offset of this shell's first basis function in the
+	// full basis enumeration.
+	Index int
+}
+
+// NFuncs returns the number of Cartesian components of the shell.
+func (s *Shell) NFuncs() int { return (s.L + 1) * (s.L + 2) / 2 }
+
+// NPrims returns the number of primitives.
+func (s *Shell) NPrims() int { return len(s.Exps) }
+
+// MinExp returns the smallest (most diffuse) exponent in the shell.
+func (s *Shell) MinExp() float64 {
+	m := s.Exps[0]
+	for _, e := range s.Exps[1:] {
+		if e < m {
+			m = e
+		}
+	}
+	return m
+}
+
+// Extent returns the radius beyond which the shell's radial amplitude is
+// below eps, used for the condensed-phase distance screening of the paper.
+// For a Gaussian exp(-α r²) the extent is sqrt(ln(1/eps)/α) for the most
+// diffuse primitive.
+func (s *Shell) Extent(eps float64) float64 {
+	if eps <= 0 || eps >= 1 {
+		eps = 1e-10
+	}
+	return math.Sqrt(math.Log(1/eps) / s.MinExp())
+}
+
+// Set is a basis set instantiated on a molecule: a list of shells plus a
+// lookup from basis-function index to shell.
+type Set struct {
+	Shells []Shell
+	// NBasis is the total number of Cartesian basis functions.
+	NBasis int
+	// Mol is the molecule the basis was built for.
+	Mol *chem.Molecule
+	// Name records the basis set name ("STO-3G", ...).
+	Name string
+}
+
+// NShells returns the number of shells.
+func (b *Set) NShells() int { return len(b.Shells) }
+
+// ShellOf returns the index of the shell containing basis function i.
+func (b *Set) ShellOf(i int) int {
+	lo, hi := 0, len(b.Shells)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		sh := &b.Shells[mid]
+		if i < sh.Index {
+			hi = mid
+		} else if i >= sh.Index+sh.NFuncs() {
+			lo = mid + 1
+		} else {
+			return mid
+		}
+	}
+	panic(fmt.Sprintf("basis: function index %d out of range", i))
+}
+
+// MaxL returns the largest angular momentum in the set.
+func (b *Set) MaxL() int {
+	m := 0
+	for i := range b.Shells {
+		if b.Shells[i].L > m {
+			m = b.Shells[i].L
+		}
+	}
+	return m
+}
+
+// doubleFactorial returns n!! with (-1)!! = 1.
+func doubleFactorial(n int) float64 {
+	r := 1.0
+	for ; n > 1; n -= 2 {
+		r *= float64(n)
+	}
+	return r
+}
+
+// primitiveNorm returns the normalization constant of the Cartesian
+// primitive x^L e^{-α r²} (the (L,0,0) component).
+func primitiveNorm(alpha float64, l int) float64 {
+	num := math.Pow(2*alpha/math.Pi, 0.75) * math.Pow(4*alpha, 0.5*float64(l))
+	return num / math.Sqrt(doubleFactorial(2*l-1))
+}
+
+// normalizeShell folds primitive and contraction normalization into the
+// coefficient array (for the (L,0,0) component convention).
+func normalizeShell(l int, exps, coefs []float64) []float64 {
+	out := make([]float64, len(coefs))
+	for i := range coefs {
+		out[i] = coefs[i] * primitiveNorm(exps[i], l)
+	}
+	// Contracted self-overlap of the (L,0,0) component.
+	var s float64
+	df := doubleFactorial(2*l - 1)
+	for i := range out {
+		for j := range out {
+			p := exps[i] + exps[j]
+			s += out[i] * out[j] * math.Pow(math.Pi/p, 1.5) * df / math.Pow(2*p, float64(l))
+		}
+	}
+	inv := 1.0 / math.Sqrt(s)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// rawShell is an element-level shell template before instantiation.
+type rawShell struct {
+	l     int
+	exps  []float64
+	coefs []float64
+}
+
+// Build instantiates the named basis set on a molecule. It returns an
+// error when the set lacks parameters for one of the molecule's elements.
+func Build(name string, mol *chem.Molecule) (*Set, error) {
+	tmpl, ok := registry[name]
+	if !ok {
+		names := make([]string, 0, len(registry))
+		for k := range registry {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("basis: unknown basis set %q (have %v)", name, names)
+	}
+	set := &Set{Mol: mol, Name: name}
+	for ai, atom := range mol.Atoms {
+		shells, ok := tmpl[atom.El]
+		if !ok {
+			return nil, fmt.Errorf("basis: %s has no parameters for element %s", name, atom.El)
+		}
+		for _, rs := range shells {
+			sh := Shell{
+				L:      rs.l,
+				Exps:   append([]float64(nil), rs.exps...),
+				Coefs:  normalizeShell(rs.l, rs.exps, rs.coefs),
+				Center: atom.Pos,
+				Atom:   ai,
+				Index:  set.NBasis,
+			}
+			set.Shells = append(set.Shells, sh)
+			set.NBasis += sh.NFuncs()
+		}
+	}
+	return set, nil
+}
+
+// MustBuild is Build that panics on error, for tests and examples with
+// known-supported systems.
+func MustBuild(name string, mol *chem.Molecule) *Set {
+	b, err := Build(name, mol)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Available returns the names of the built-in basis sets.
+func Available() []string {
+	names := make([]string, 0, len(registry))
+	for k := range registry {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SupportedElements returns the elements parameterised in the named set.
+func SupportedElements(name string) []chem.Element {
+	tmpl, ok := registry[name]
+	if !ok {
+		return nil
+	}
+	els := make([]chem.Element, 0, len(tmpl))
+	for e := range tmpl {
+		els = append(els, e)
+	}
+	sort.Slice(els, func(i, j int) bool { return els[i] < els[j] })
+	return els
+}

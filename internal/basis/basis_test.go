@@ -1,0 +1,157 @@
+package basis
+
+import (
+	"math"
+	"testing"
+
+	"hfxmd/internal/chem"
+)
+
+func TestBuildWaterSTO3G(t *testing.T) {
+	b := MustBuild("STO-3G", chem.Water())
+	// O: 1s, 2s, 2p (1+1+3 = 5 funcs); 2 H: 1s each → 7 total.
+	if b.NBasis != 7 {
+		t.Fatalf("NBasis %d want 7", b.NBasis)
+	}
+	if b.NShells() != 5 {
+		t.Fatalf("NShells %d want 5", b.NShells())
+	}
+	if b.MaxL() != 1 {
+		t.Fatalf("MaxL %d", b.MaxL())
+	}
+}
+
+func TestBuildUnknownBasis(t *testing.T) {
+	if _, err := Build("BOGUS", chem.Water()); err == nil {
+		t.Fatal("expected error for unknown basis")
+	}
+}
+
+func TestBuildMissingElement(t *testing.T) {
+	// 6-31G here lacks Li.
+	if _, err := Build("6-31G", chem.LithiumHydride()); err == nil {
+		t.Fatal("expected error for missing Li in 6-31G")
+	}
+}
+
+func TestShellOf(t *testing.T) {
+	b := MustBuild("STO-3G", chem.Water())
+	for i := 0; i < b.NBasis; i++ {
+		si := b.ShellOf(i)
+		sh := &b.Shells[si]
+		if i < sh.Index || i >= sh.Index+sh.NFuncs() {
+			t.Fatalf("ShellOf(%d) = %d has range [%d,%d)", i, si, sh.Index, sh.Index+sh.NFuncs())
+		}
+	}
+}
+
+func TestShellIndexContiguity(t *testing.T) {
+	b := MustBuild("STO-3G", chem.PropyleneCarbonate())
+	next := 0
+	for i := range b.Shells {
+		if b.Shells[i].Index != next {
+			t.Fatalf("shell %d index %d want %d", i, b.Shells[i].Index, next)
+		}
+		next += b.Shells[i].NFuncs()
+	}
+	if next != b.NBasis {
+		t.Fatalf("sum of shell sizes %d != NBasis %d", next, b.NBasis)
+	}
+}
+
+// selfOverlap computes the analytic self-overlap of the (L,0,0) component
+// of a normalized shell; it must be 1.
+func selfOverlap(sh *Shell) float64 {
+	df := 1.0
+	for n := 2*sh.L - 1; n > 1; n -= 2 {
+		df *= float64(n)
+	}
+	var s float64
+	for i := range sh.Exps {
+		for j := range sh.Exps {
+			p := sh.Exps[i] + sh.Exps[j]
+			s += sh.Coefs[i] * sh.Coefs[j] * math.Pow(math.Pi/p, 1.5) * df / math.Pow(2*p, float64(sh.L))
+		}
+	}
+	return s
+}
+
+func TestShellNormalization(t *testing.T) {
+	for _, name := range Available() {
+		for _, el := range SupportedElements(name) {
+			mol := &chem.Molecule{Atoms: []chem.Atom{{El: el}}}
+			b := MustBuild(name, mol)
+			for i := range b.Shells {
+				if s := selfOverlap(&b.Shells[i]); math.Abs(s-1) > 1e-10 {
+					t.Errorf("%s %s shell %d (L=%d): self-overlap %.12f", name, el, i, b.Shells[i].L, s)
+				}
+			}
+		}
+	}
+}
+
+func TestExtentMonotonicity(t *testing.T) {
+	b := MustBuild("STO-3G", chem.Water())
+	sh := &b.Shells[0]
+	if !(sh.Extent(1e-12) > sh.Extent(1e-6)) {
+		t.Fatal("tighter eps must give larger extent")
+	}
+	// Garbage eps falls back to a sane default.
+	if sh.Extent(-1) <= 0 || sh.Extent(2) <= 0 {
+		t.Fatal("extent fallback broken")
+	}
+}
+
+func TestAvailable(t *testing.T) {
+	names := Available()
+	want := map[string]bool{"STO-3G": true, "3-21G": true, "6-31G": true, "6-31G*": true}
+	if len(names) != len(want) {
+		t.Fatalf("Available() = %v", names)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Fatalf("unexpected basis %q", n)
+		}
+	}
+}
+
+func TestSupportedElements(t *testing.T) {
+	els := SupportedElements("STO-3G")
+	has := func(e chem.Element) bool {
+		for _, x := range els {
+			if x == e {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range []chem.Element{chem.H, chem.Li, chem.C, chem.O, chem.S} {
+		if !has(e) {
+			t.Fatalf("STO-3G missing %s", e)
+		}
+	}
+	if SupportedElements("BOGUS") != nil {
+		t.Fatal("expected nil for unknown set")
+	}
+}
+
+func TestSplitValenceCounts(t *testing.T) {
+	// 6-31G water: O 3s2p (3+6=9... count: s,s,p,s,p = 1+1+3+1+3=9), H 2s each.
+	b := MustBuild("6-31G", chem.Water())
+	if b.NBasis != 9+2+2 {
+		t.Fatalf("6-31G water NBasis %d want 13", b.NBasis)
+	}
+	b = MustBuild("3-21G", chem.Water())
+	if b.NBasis != 9+2+2 {
+		t.Fatalf("3-21G water NBasis %d want 13", b.NBasis)
+	}
+}
+
+func TestDoubleFactorial(t *testing.T) {
+	cases := map[int]float64{-1: 1, 0: 1, 1: 1, 2: 2, 3: 3, 5: 15, 7: 105}
+	for n, want := range cases {
+		if got := doubleFactorial(n); got != want {
+			t.Fatalf("(%d)!! = %g want %g", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package basis
+
+import "hfxmd/internal/chem"
+
+// Built-in basis-set parameters. Exponents and contraction coefficients
+// are the standard published values (EMSL basis set exchange vintage).
+// STO-3G sp shells are stored as separate s and p shells sharing the same
+// exponents, which is mathematically identical and simplifies the engine.
+
+// Shared STO-3G contraction patterns: the coefficients of the 1s, 2sp and
+// 3sp shells are universal; only the exponents are element-specific.
+var (
+	sto1sCoefs = []float64{0.15432897, 0.53532814, 0.44463454}
+	sto2sCoefs = []float64{-0.09996723, 0.39951283, 0.70011547}
+	sto2pCoefs = []float64{0.15591627, 0.60768372, 0.39195739}
+	sto3sCoefs = []float64{-0.21962037, 0.22559543, 0.90039843}
+	sto3pCoefs = []float64{0.01058760, 0.59516701, 0.46200101}
+)
+
+// sto3g builds the template for a first-row element from its 1s and 2sp
+// exponent triples.
+func sto3gRow1(exp1s []float64) []rawShell {
+	return []rawShell{{0, exp1s, sto1sCoefs}}
+}
+
+func sto3gRow2(exp1s, exp2sp []float64) []rawShell {
+	return []rawShell{
+		{0, exp1s, sto1sCoefs},
+		{0, exp2sp, sto2sCoefs},
+		{1, exp2sp, sto2pCoefs},
+	}
+}
+
+func sto3gRow3(exp1s, exp2sp, exp3sp []float64) []rawShell {
+	return []rawShell{
+		{0, exp1s, sto1sCoefs},
+		{0, exp2sp, sto2sCoefs},
+		{1, exp2sp, sto2pCoefs},
+		{0, exp3sp, sto3sCoefs},
+		{1, exp3sp, sto3pCoefs},
+	}
+}
+
+var sto3g = map[chem.Element][]rawShell{
+	chem.H:  sto3gRow1([]float64{3.42525091, 0.62391373, 0.16885540}),
+	chem.He: sto3gRow1([]float64{6.36242139, 1.15892300, 0.31364979}),
+	chem.Li: sto3gRow2(
+		[]float64{16.11957475, 2.93620066, 0.79465049},
+		[]float64{0.63628975, 0.14786005, 0.04808868}),
+	chem.Be: sto3gRow2(
+		[]float64{30.16787069, 5.49511531, 1.48719265},
+		[]float64{1.31483311, 0.30553894, 0.09937075}),
+	chem.B: sto3gRow2(
+		[]float64{48.79111318, 8.88736217, 2.40526704},
+		[]float64{2.23695614, 0.51982050, 0.16906176}),
+	chem.C: sto3gRow2(
+		[]float64{71.61683735, 13.04509632, 3.53051216},
+		[]float64{2.94124936, 0.68348310, 0.22228992}),
+	chem.N: sto3gRow2(
+		[]float64{99.10616896, 18.05231239, 4.88566024},
+		[]float64{3.78045588, 0.87849664, 0.28571437}),
+	chem.O: sto3gRow2(
+		[]float64{130.70932140, 23.80886605, 6.44360831},
+		[]float64{5.03315132, 1.16959612, 0.38038896}),
+	chem.F: sto3gRow2(
+		[]float64{166.67913400, 30.36081233, 8.21682067},
+		[]float64{6.46480325, 1.50228124, 0.48858849}),
+	chem.S: sto3gRow3(
+		[]float64{533.12573590, 97.10951830, 26.28162542},
+		[]float64{33.32975173, 7.74511752, 2.51895260},
+		[]float64{2.02919427, 0.56614005, 0.22158338}),
+	chem.Cl: sto3gRow3(
+		[]float64{601.34561360, 109.53585420, 29.64467686},
+		[]float64{38.96041889, 9.05356348, 2.94449983},
+		[]float64{2.12938650, 0.59409343, 0.23252414}),
+}
+
+// 3-21G split-valence set for H, C, N, O.
+var b321g = map[chem.Element][]rawShell{
+	chem.H: {
+		{0, []float64{5.4471780, 0.8245470}, []float64{0.1562850, 0.9046910}},
+		{0, []float64{0.1831920}, []float64{1.0}},
+	},
+	chem.C: {
+		{0, []float64{172.2560, 25.91090, 5.533350}, []float64{0.0617669, 0.3587940, 0.7007130}},
+		{0, []float64{3.664980, 0.7705450}, []float64{-0.3958970, 1.2158400}},
+		{1, []float64{3.664980, 0.7705450}, []float64{0.2364600, 0.8606190}},
+		{0, []float64{0.1958570}, []float64{1.0}},
+		{1, []float64{0.1958570}, []float64{1.0}},
+	},
+	chem.N: {
+		{0, []float64{242.7660, 36.48510, 7.814490}, []float64{0.0598657, 0.3529550, 0.7065130}},
+		{0, []float64{5.425220, 1.149150}, []float64{-0.4133010, 1.2244200}},
+		{1, []float64{5.425220, 1.149150}, []float64{0.2379720, 0.8589530}},
+		{0, []float64{0.2832050}, []float64{1.0}},
+		{1, []float64{0.2832050}, []float64{1.0}},
+	},
+	chem.O: {
+		{0, []float64{322.0370, 48.43080, 10.42060}, []float64{0.0592394, 0.3515000, 0.7076580}},
+		{0, []float64{7.402940, 1.576200}, []float64{-0.4044530, 1.2215600}},
+		{1, []float64{7.402940, 1.576200}, []float64{0.2445860, 0.8539550}},
+		{0, []float64{0.3736840}, []float64{1.0}},
+		{1, []float64{0.3736840}, []float64{1.0}},
+	},
+}
+
+// 6-31G split-valence set for H, C, N, O.
+var b631g = map[chem.Element][]rawShell{
+	chem.H: {
+		{0, []float64{18.7311370, 2.8253937, 0.6401217},
+			[]float64{0.03349460, 0.23472695, 0.81375733}},
+		{0, []float64{0.1612778}, []float64{1.0}},
+	},
+	chem.C: {
+		{0, []float64{3047.5249, 457.36951, 103.94869, 29.210155, 9.2866630, 3.1639270},
+			[]float64{0.0018347, 0.0140373, 0.0688426, 0.2321844, 0.4679413, 0.3623120}},
+		{0, []float64{7.8682724, 1.8812885, 0.5442493},
+			[]float64{-0.1193324, -0.1608542, 1.1434564}},
+		{1, []float64{7.8682724, 1.8812885, 0.5442493},
+			[]float64{0.0689991, 0.3164240, 0.7443083}},
+		{0, []float64{0.1687144}, []float64{1.0}},
+		{1, []float64{0.1687144}, []float64{1.0}},
+	},
+	chem.N: {
+		{0, []float64{4173.5110, 627.45790, 142.90210, 40.234330, 12.820210, 4.3904370},
+			[]float64{0.0018348, 0.0139950, 0.0685870, 0.2322410, 0.4690700, 0.3604550}},
+		{0, []float64{11.626358, 2.7162800, 0.7722180},
+			[]float64{-0.1149610, -0.1691180, 1.1458520}},
+		{1, []float64{11.626358, 2.7162800, 0.7722180},
+			[]float64{0.0675800, 0.3239070, 0.7408950}},
+		{0, []float64{0.2120313}, []float64{1.0}},
+		{1, []float64{0.2120313}, []float64{1.0}},
+	},
+	chem.O: {
+		{0, []float64{5484.6717, 825.23495, 188.04696, 52.964500, 16.897570, 5.7996353},
+			[]float64{0.0018311, 0.0139501, 0.0684451, 0.2327143, 0.4701930, 0.3585209}},
+		{0, []float64{15.539616, 3.5999336, 1.0137618},
+			[]float64{-0.1107775, -0.1480263, 1.1307670}},
+		{1, []float64{15.539616, 3.5999336, 1.0137618},
+			[]float64{0.0708743, 0.3397528, 0.7271586}},
+		{0, []float64{0.2700058}, []float64{1.0}},
+		{1, []float64{0.2700058}, []float64{1.0}},
+	},
+}
+
+// b631gStar is 6-31G* (6-31G(d)): 6-31G plus a single Cartesian
+// d-polarization shell (exponent 0.8) on each heavy atom. Hydrogens are
+// unchanged.
+var b631gStar = func() map[chem.Element][]rawShell {
+	out := map[chem.Element][]rawShell{}
+	for el, shells := range b631g {
+		cp := append([]rawShell(nil), shells...)
+		if el != chem.H {
+			cp = append(cp, rawShell{2, []float64{0.8}, []float64{1.0}})
+		}
+		out[el] = cp
+	}
+	return out
+}()
+
+// registry maps basis-set names to element templates.
+var registry = map[string]map[chem.Element][]rawShell{
+	"STO-3G": sto3g,
+	"3-21G":  b321g,
+	"6-31G":  b631g,
+	"6-31G*": b631gStar,
+}

@@ -1,0 +1,364 @@
+package bgq
+
+import (
+	"math"
+	"testing"
+
+	"hfxmd/internal/basis"
+	"hfxmd/internal/chem"
+	"hfxmd/internal/hfx"
+	"hfxmd/internal/integrals"
+	"hfxmd/internal/sched"
+	"hfxmd/internal/screen"
+)
+
+func TestMachineThreadCounts(t *testing.T) {
+	cases := map[int]int{1: 65536, 8: 524288, 96: 6291456}
+	for racks, threads := range cases {
+		m, err := New(racks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Threads() != threads {
+			t.Fatalf("%d racks: %d threads want %d", racks, m.Threads(), threads)
+		}
+	}
+	if _, err := New(0); err == nil {
+		t.Fatal("expected error for 0 racks")
+	}
+}
+
+func TestMachineString(t *testing.T) {
+	m, _ := New(96)
+	if m.String() == "" {
+		t.Fatal("empty description")
+	}
+}
+
+func TestAllreduceModels(t *testing.T) {
+	m, _ := New(8)
+	bytes := 64 << 20
+	for _, alg := range []ReduceAlgorithm{DimExchange, Binomial, Ring} {
+		tm := m.AllreduceTime(bytes, alg)
+		if tm <= 0 {
+			t.Fatalf("%v: time %g", alg, tm)
+		}
+		if alg.String() == "" {
+			t.Fatal("empty name")
+		}
+	}
+	// Dimension exchange must beat the ring at scale (latency) and the
+	// binomial tree on bandwidth for large payloads.
+	de := m.AllreduceTime(bytes, DimExchange)
+	ring := m.AllreduceTime(bytes, Ring)
+	bin := m.AllreduceTime(bytes, Binomial)
+	if de >= ring {
+		t.Fatalf("dim-exchange %g not better than ring %g", de, ring)
+	}
+	if de >= bin {
+		t.Fatalf("dim-exchange %g not better than binomial %g", de, bin)
+	}
+}
+
+func TestAllreduceSingleNodeFree(t *testing.T) {
+	shape1 := Machine{Racks: 0}
+	_ = shape1
+	// A one-node "partition" cannot occur via New (min 1 rack), so test
+	// the N≤1 guard directly through a tiny hand-made machine.
+	m, _ := New(1)
+	if m.AllreduceTime(0, DimExchange) < 0 {
+		t.Fatal("negative time")
+	}
+}
+
+func TestCondensedPhaseWorkloadShape(t *testing.T) {
+	w := CondensedPhaseWorkload(512, 1<<16, 1)
+	if len(w.TaskCosts) != 1<<16 {
+		t.Fatalf("%d tasks", len(w.TaskCosts))
+	}
+	want := 512.0 * pairsPerWaterSTO * quartetsPerPair * quartetCostSTO
+	if math.Abs(w.TotalWork()-want) > 0.01*want {
+		t.Fatalf("total work %g want %g", w.TotalWork(), want)
+	}
+	// Near-uniform tasks: coefficient of variation must be small.
+	st := sched.Summarize(w.TaskCosts)
+	if st.CV > 0.1 {
+		t.Fatalf("task CV %g too large", st.CV)
+	}
+}
+
+func TestBaselineWorkloadHeavyTailed(t *testing.T) {
+	w := BaselineWorkload(512, 1)
+	st := sched.Summarize(w.TaskCosts)
+	if st.CV < 0.5 {
+		t.Fatalf("baseline CV %g should be heavy-tailed", st.CV)
+	}
+	if len(w.TaskCosts) != 512*pairsPerWaterSTO {
+		t.Fatalf("%d tasks", len(w.TaskCosts))
+	}
+	// Same physical system but scalar kernels and weaker screening: the
+	// total work carries the documented 9x inefficiency factor.
+	wp := CondensedPhaseWorkload(512, 1<<16, 1)
+	want := baselineKernelFactor * baselineScreenFactor
+	ratio := w.TotalWork() / wp.TotalWork()
+	if ratio < 0.5*want || ratio > 2*want {
+		t.Fatalf("baseline/paper work ratio %g want ~%g", ratio, want)
+	}
+}
+
+func TestSimulateBasicInvariants(t *testing.T) {
+	m, _ := New(1)
+	w := CondensedPhaseWorkload(128, 1<<15, 2)
+	res := m.Simulate(w, PaperScheme())
+	if res.Total <= 0 || res.Compute <= 0 {
+		t.Fatalf("result %+v", res)
+	}
+	if res.Total < res.Compute {
+		t.Fatal("total below compute")
+	}
+	if res.BalanceRatio < 1 {
+		t.Fatalf("balance ratio %g", res.BalanceRatio)
+	}
+	if res.Threads != 65536 {
+		t.Fatalf("threads %d", res.Threads)
+	}
+	// Perfect-machine lower bound: work/threads.
+	lower := w.TotalWork() / float64(res.Threads)
+	if res.Compute < lower*0.999 {
+		t.Fatalf("compute %g below physical lower bound %g", res.Compute, lower)
+	}
+}
+
+func TestSimulateEmptyWorkload(t *testing.T) {
+	m, _ := New(1)
+	res := m.Simulate(&Workload{}, PaperScheme())
+	if res.Total != 0 || res.BalanceRatio != 1 {
+		t.Fatalf("empty workload result %+v", res)
+	}
+}
+
+func TestStrongScalingNearPerfect(t *testing.T) {
+	// E1 in miniature: the paper scheme holds ≥90% efficiency to 96 racks
+	// on the flagship workload.
+	w := CondensedPhaseWorkload(4096, 1<<20, 3)
+	racks := []int{1, 2, 4, 8, 16, 32, 64, 96}
+	pts, err := StrongScaling(w, racks, PaperScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := pts[len(pts)-1]
+	if last.Threads != 6291456 {
+		t.Fatalf("final point %d threads", last.Threads)
+	}
+	if last.Efficiency < 0.9 {
+		t.Fatalf("96-rack efficiency %.3f < 0.9", last.Efficiency)
+	}
+	// Monotone speedup.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Speedup <= pts[i-1].Speedup {
+			t.Fatalf("speedup not monotone at %d racks", pts[i].Racks)
+		}
+	}
+}
+
+func TestBaselineSaturatesEarly(t *testing.T) {
+	// E2 in miniature: the baseline scheme must stop scaling far below
+	// the paper scheme (>20× fewer useful threads).
+	paper := CondensedPhaseWorkload(4096, 1<<20, 3)
+	base := BaselineWorkload(4096, 3)
+	racks := []int{1, 2, 4, 8, 16, 32, 64, 96}
+	pPts, err := StrongScaling(paper, racks, PaperScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bPts, err := StrongScaling(base, racks, BaselineScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pSat := SaturationThreads(pPts)
+	bSat := SaturationThreads(bPts)
+	if pSat < 20*bSat {
+		t.Fatalf("scalability improvement %d/%d = %.1fx < 20x", pSat, bSat, float64(pSat)/float64(bSat))
+	}
+}
+
+func TestTimeToSolutionAdvantage(t *testing.T) {
+	// E3 in miniature: >10× faster at a fixed machine size.
+	paper := CondensedPhaseWorkload(4096, 1<<20, 3)
+	base := BaselineWorkload(4096, 3)
+	tp, err := TimeToSolution(paper, 32, PaperScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := TimeToSolution(base, 32, BaselineScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb < 10*tp {
+		t.Fatalf("time-to-solution improvement %.1fx < 10x (paper %g baseline %g)", tb/tp, tp, tb)
+	}
+}
+
+func TestCostModelFidelityAblation(t *testing.T) {
+	// A3: scheduling with noisy predicted costs but executing true costs
+	// degrades balance only mildly when the noise is small.
+	w := CondensedPhaseWorkload(256, 1<<16, 5)
+	truth := make([]float64, len(w.TaskCosts))
+	h := uint64(99)
+	for i, c := range w.TaskCosts {
+		h ^= h << 13
+		h ^= h >> 7
+		h ^= h << 17
+		truth[i] = c * (1 + 0.2*(float64(h%1000)/1000-0.5))
+	}
+	m, _ := New(4)
+	exact := m.Simulate(&Workload{TaskCosts: truth, TrueCosts: truth,
+		KMatrixBytes: w.KMatrixBytes, QuartetCost: w.QuartetCost}, PaperScheme())
+	modeled := m.Simulate(&Workload{TaskCosts: w.TaskCosts, TrueCosts: truth,
+		KMatrixBytes: w.KMatrixBytes, QuartetCost: w.QuartetCost}, PaperScheme())
+	if modeled.Total < exact.Total*0.99 {
+		t.Fatalf("modeled schedule beats exact schedule: %g vs %g", modeled.Total, exact.Total)
+	}
+	if modeled.Total > exact.Total*1.25 {
+		t.Fatalf("modeled schedule degrades too much: %g vs %g", modeled.Total, exact.Total)
+	}
+}
+
+func TestTrueCostsLengthMismatchPanics(t *testing.T) {
+	m, _ := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Simulate(&Workload{TaskCosts: []float64{1, 2}, TrueCosts: []float64{1}}, PaperScheme())
+}
+
+func TestMeasuredWorkloadGroundsSynthetic(t *testing.T) {
+	// The measured per-quartet cost from the real pipeline must be within
+	// an order of magnitude of the synthetic generator's constant.
+	mol := chem.WaterCluster(8, 1)
+	eng := integrals.NewEngine(basis.MustBuild("STO-3G", mol))
+	scr := screen.BuildPairList(eng, screen.DefaultOptions())
+	cm := hfx.Calibrate(eng)
+	tasks := hfx.GenerateTasks(eng.Basis, scr.Pairs, cm, 0)
+	w := MeasuredWorkload(eng.Basis, scr.Pairs, tasks)
+	if len(w.TaskCosts) != len(tasks) {
+		t.Fatalf("%d costs for %d tasks", len(w.TaskCosts), len(tasks))
+	}
+	perQuartet := w.TotalWork() / float64(hfx.TotalQuartets(tasks))
+	if perQuartet < quartetCostSTO/30 || perQuartet > quartetCostSTO*30 {
+		t.Fatalf("measured quartet cost %g vs synthetic %g: more than 30x apart",
+			perQuartet, quartetCostSTO)
+	}
+	m, _ := New(1)
+	res := m.Simulate(w, PaperScheme())
+	if res.Total <= 0 {
+		t.Fatalf("measured workload simulation %+v", res)
+	}
+}
+
+func TestNodeNoiseDeterministicBounded(t *testing.T) {
+	m, _ := New(1)
+	for _, node := range []int{0, 1, 777, 1023} {
+		f1 := m.nodeNoise(node)
+		f2 := m.nodeNoise(node)
+		if f1 != f2 {
+			t.Fatal("noise not deterministic")
+		}
+		if f1 < 1 || f1 > 1+m.NoiseAmplitude {
+			t.Fatalf("noise %g out of range", f1)
+		}
+	}
+}
+
+func TestReductionAlgorithmsAblation(t *testing.T) {
+	// A2: at large scale, ring reduction must be catastrophically worse.
+	w := CondensedPhaseWorkload(1024, 1<<20, 7)
+	m, _ := New(96)
+	opts := PaperScheme()
+	de := m.Simulate(w, opts)
+	opts.Reduce = Ring
+	ring := m.Simulate(w, opts)
+	if ring.Total <= de.Total {
+		t.Fatalf("ring %g not worse than dim-exchange %g at 96 racks", ring.Total, de.Total)
+	}
+}
+
+func BenchmarkSimulate96Racks(b *testing.B) {
+	w := CondensedPhaseWorkload(4096, 1<<20, 1)
+	m, _ := New(96)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Simulate(w, PaperScheme())
+	}
+}
+
+func TestWeakScalingFlat(t *testing.T) {
+	// Growing the system with the machine must keep the build time
+	// roughly flat (the condensed-phase MD use case).
+	pts, err := WeakScaling(256, 1<<14, []int{1, 4, 16, 64}, 9, PaperScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := pts[0].Result.Total
+	for _, p := range pts[1:] {
+		if p.Result.Total > 1.3*t0 {
+			t.Fatalf("weak scaling degraded at %d racks: %g vs %g", p.Racks, p.Result.Total, t0)
+		}
+		if p.Efficiency < 0.7 {
+			t.Fatalf("weak efficiency %.2f at %d racks", p.Efficiency, p.Racks)
+		}
+	}
+	if _, err := WeakScaling(1, 1, nil, 0, PaperScheme()); err == nil {
+		t.Fatal("expected error for empty rack list")
+	}
+}
+
+func TestCampaignSimulation(t *testing.T) {
+	w := CondensedPhaseWorkload(1024, 1<<18, 3)
+	m, _ := New(16)
+	c := MDCampaign{Steps: 1000, TimestepFS: 0.5, SCFItersPerStep: 6, Workload: w}
+	res := m.SimulateCampaign(c, PaperScheme())
+	if res.PerStep <= 0 || res.Total <= 0 {
+		t.Fatalf("campaign result %+v", res)
+	}
+	if math.Abs(res.PerStep-6*res.PerBuild) > 1e-12 {
+		t.Fatalf("per-step %g != 6 × per-build %g", res.PerStep, res.PerBuild)
+	}
+	if math.Abs(res.SimulatedPS-0.5) > 1e-12 {
+		t.Fatalf("simulated ps %g want 0.5", res.SimulatedPS)
+	}
+	if res.String() == "" {
+		t.Fatal("empty render")
+	}
+	// Defaults fill in.
+	def := m.SimulateCampaign(MDCampaign{Workload: w}, PaperScheme())
+	if def.PerStep <= 0 || def.SimulatedPS <= 0 {
+		t.Fatalf("default campaign %+v", def)
+	}
+	// More racks: faster steps.
+	m96, _ := New(96)
+	res96 := m96.SimulateCampaign(c, PaperScheme())
+	if res96.PerStep >= res.PerStep {
+		t.Fatalf("96-rack step %g not faster than 16-rack %g", res96.PerStep, res.PerStep)
+	}
+}
+
+func TestFeasibilityTable(t *testing.T) {
+	w := CondensedPhaseWorkload(1024, 1<<18, 3)
+	c := MDCampaign{Steps: 10000, SCFItersPerStep: 6, Workload: w}
+	rows, err := FeasibilityTable(c, []int{1, 16, 96}, PaperScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if !(rows[2].Total < rows[0].Total) {
+		t.Fatal("trajectory time should shrink with racks")
+	}
+	if _, err := FeasibilityTable(c, []int{0}, PaperScheme()); err == nil {
+		t.Fatal("expected error for invalid rack count")
+	}
+}

@@ -1,0 +1,160 @@
+// Package bgq is the Blue Gene/Q machine simulator that stands in for the
+// 96-rack hardware of the paper (see DESIGN.md, substitution table). It
+// models:
+//
+//   - the partition structure: racks → 1024 nodes/rack → 16 cores × 4 SMT
+//     threads (65,536 hardware threads per rack, 6,291,456 at 96 racks);
+//   - the 5-D torus network with per-hop latency and per-link bandwidth,
+//     and three allreduce algorithms (binomial tree, torus dimension-
+//     exchange, ring) for the K-matrix reduction;
+//   - execution of a *real* task schedule: the same task lists and static
+//     assignments produced by packages hfx and sched are replayed against
+//     the calibrated cost model, with deterministic per-node OS noise.
+//
+// The simulator therefore reproduces exactly the two quantities that
+// decide the paper's scaling claims — load-balance quality of the static
+// schedule and reduction cost growth with partition size — without
+// instantiating millions of goroutines.
+package bgq
+
+import (
+	"fmt"
+	"math"
+
+	"hfxmd/internal/torus"
+)
+
+// Machine hardware constants (production BG/Q values).
+const (
+	NodesPerRack   = 1024
+	CoresPerNode   = 16
+	ThreadsPerCore = 4
+	ThreadsPerNode = CoresPerNode * ThreadsPerCore // 64
+)
+
+// Machine is a BG/Q partition plus its network timing parameters.
+type Machine struct {
+	Racks int
+	Torus *torus.Torus
+	// LinkBandwidth is the usable per-link bandwidth in bytes/second
+	// (BG/Q: 2 GB/s raw, ~1.8 GB/s effective).
+	LinkBandwidth float64
+	// HopLatency is the per-hop wire+router latency in seconds (~40 ns).
+	HopLatency float64
+	// SoftwareLatency is the per-message software overhead in seconds
+	// (~600 ns for MPI on BG/Q).
+	SoftwareLatency float64
+	// NoiseAmplitude is the relative per-node compute jitter (BG/Q's CNK
+	// is famously quiet: default 0.3%).
+	NoiseAmplitude float64
+}
+
+// New creates a machine with production timing defaults.
+func New(racks int) (*Machine, error) {
+	shape, err := torus.ShapeForRacks(racks)
+	if err != nil {
+		return nil, err
+	}
+	tor, err := torus.New(shape)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		Racks:           racks,
+		Torus:           tor,
+		LinkBandwidth:   1.8e9,
+		HopLatency:      40e-9,
+		SoftwareLatency: 600e-9,
+		NoiseAmplitude:  0.003,
+	}, nil
+}
+
+// Nodes returns the node count.
+func (m *Machine) Nodes() int { return m.Torus.Shape.Nodes() }
+
+// Threads returns the hardware-thread count of the partition.
+func (m *Machine) Threads() int { return m.Nodes() * ThreadsPerNode }
+
+// String describes the partition.
+func (m *Machine) String() string {
+	return fmt.Sprintf("BG/Q %d rack(s), torus %s, %d nodes, %d threads",
+		m.Racks, m.Torus.Shape, m.Nodes(), m.Threads())
+}
+
+// ReduceAlgorithm selects the K-matrix allreduce model.
+type ReduceAlgorithm int
+
+const (
+	// DimExchange is the torus-native dimension-ordered recursive
+	// halving/doubling: nearest-neighbour transfers only, bandwidth
+	// near-optimal. This is the paper's production choice.
+	DimExchange ReduceAlgorithm = iota
+	// Binomial is a latency-oriented binomial tree (hops grow with the
+	// partition diameter).
+	Binomial
+	// Ring is the classic bandwidth-optimal but latency-heavy ring.
+	Ring
+)
+
+// String implements fmt.Stringer.
+func (r ReduceAlgorithm) String() string {
+	switch r {
+	case DimExchange:
+		return "dim-exchange"
+	case Binomial:
+		return "binomial"
+	case Ring:
+		return "ring"
+	default:
+		return fmt.Sprintf("ReduceAlgorithm(%d)", int(r))
+	}
+}
+
+// AllreduceTime models the time to allreduce b bytes across all nodes of
+// the partition with the given algorithm.
+func (m *Machine) AllreduceTime(bytes int, alg ReduceAlgorithm) float64 {
+	n := float64(m.Nodes())
+	if n <= 1 {
+		return 0
+	}
+	b := float64(bytes)
+	switch alg {
+	case DimExchange:
+		// Recursive halving + doubling over each torus dimension:
+		// nearest-neighbour hops only; total payload moved per node is
+		// 2·b·(1−1/N); per step software latency.
+		steps := float64(m.Torus.DimExchangeSteps()) * 2 // reduce + broadcast phases
+		return steps*(m.SoftwareLatency+m.HopLatency) + 2*b*(1-1/n)/m.LinkBandwidth
+	case Binomial:
+		// log2(N) rounds; each round's message crosses on average half
+		// the diameter; payload b per round (reduce then broadcast).
+		rounds := math.Ceil(math.Log2(n))
+		avgHops := float64(m.Torus.Diameter()) / 2
+		return 2 * rounds * (m.SoftwareLatency + avgHops*m.HopLatency + b/m.LinkBandwidth)
+	case Ring:
+		// 2(N−1) steps of b/N each between neighbours.
+		return 2 * (n - 1) * (m.SoftwareLatency + m.HopLatency + b/n/m.LinkBandwidth)
+	default:
+		panic("bgq: unknown reduce algorithm")
+	}
+}
+
+// IntraNodeReduceTime models the shared-memory tree combine of the
+// thread-private K buffers inside one node: log2(64) rounds of a memcpy-
+// rate add over b bytes.
+func (m *Machine) IntraNodeReduceTime(bytes int) float64 {
+	const memBandwidth = 28e9 // bytes/s effective DDR3 stream rate per node
+	rounds := math.Log2(ThreadsPerNode)
+	return rounds * float64(bytes) / memBandwidth
+}
+
+// nodeNoise returns the deterministic jitter factor (≥1) for a node:
+// a cheap hash spread over [1, 1+NoiseAmplitude].
+func (m *Machine) nodeNoise(node int) float64 {
+	h := uint64(node)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	frac := float64(h%1000000) / 1000000
+	return 1 + m.NoiseAmplitude*frac
+}

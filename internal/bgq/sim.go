@@ -1,0 +1,322 @@
+package bgq
+
+import (
+	"fmt"
+
+	"hfxmd/internal/sched"
+)
+
+// Workload describes one HFX build to be executed on the simulated
+// machine. Tasks are node-level work units (the inner 64-way SMT split is
+// modelled analytically, see Simulate); costs are in seconds.
+type Workload struct {
+	// Name labels the workload in reports.
+	Name string
+	// TaskCosts are the scheduled per-task costs in seconds.
+	TaskCosts []float64
+	// TrueCosts, when non-nil, are the costs actually incurred at
+	// execution time (for the cost-model-fidelity ablation A3). Must have
+	// the same length as TaskCosts.
+	TrueCosts []float64
+	// KMatrixBytes is the size of the full exchange matrix.
+	KMatrixBytes int
+	// TouchedBytesPerTask bounds the K payload a single task contributes;
+	// the reduction is a reduce-scatter over per-node contributions, so
+	// per-node payload = min(KMatrixBytes, tasks×TouchedBytesPerTask).
+	TouchedBytesPerTask float64
+	// QuartetCost is the finest splittable work unit (seconds); the
+	// intra-node dynamic queue balances to within one quartet.
+	QuartetCost float64
+}
+
+// TotalWork returns the summed scheduled cost in seconds.
+func (w *Workload) TotalWork() float64 {
+	var s float64
+	for _, c := range w.TaskCosts {
+		s += c
+	}
+	return s
+}
+
+// SimOptions selects the execution scheme.
+type SimOptions struct {
+	// Balancer is the static node-level assignment algorithm (the paper
+	// uses sched.LPT; the baseline uses sched.Block).
+	Balancer sched.Algorithm
+	// Reduce selects the allreduce algorithm for the K combination.
+	Reduce ReduceAlgorithm
+	// Overlap is the fraction of reduction hidden behind compute via
+	// non-blocking collectives (paper: 0.9; baseline: 0).
+	Overlap float64
+	// PerTaskMessages models the data-distributed baseline: every task
+	// requires a synchronous fetch of remote density blocks and a send of
+	// K blocks (two messages of MessageBytes each).
+	PerTaskMessages bool
+	// MessageBytes is the payload of each baseline message.
+	MessageBytes int
+	// MaxThreadsPerTask caps how many of a node's 64 hardware threads can
+	// cooperate on one task (0 = all). The paper's scheme splits any task
+	// down to quartet granularity across the full SMT width; the
+	// comparable prior approaches threaded at core level only (16-way),
+	// which is what limits their strong-scaling floor.
+	MaxThreadsPerTask int
+}
+
+// PaperScheme returns the paper's production configuration.
+func PaperScheme() SimOptions {
+	return SimOptions{Balancer: sched.LPT, Reduce: DimExchange, Overlap: 0.9}
+}
+
+// BaselineScheme returns the directly-comparable approach: replicated-K
+// with a classic ring allreduce and no communication overlap, block
+// distribution of un-chunked pair tasks, per-task density/K messaging,
+// and core-level (16-way) threading without the SMT-wide task split.
+func BaselineScheme() SimOptions {
+	return SimOptions{
+		Balancer:          sched.Block,
+		Reduce:            Ring,
+		Overlap:           0,
+		PerTaskMessages:   true,
+		MessageBytes:      32 * 1024,
+		MaxThreadsPerTask: CoresPerNode,
+	}
+}
+
+// SimResult is the outcome of one simulated HFX build.
+type SimResult struct {
+	// Compute is the critical-path compute time (seconds).
+	Compute float64
+	// Reduction is the visible (non-overlapped) K-reduction time.
+	Reduction float64
+	// Messaging is the per-task communication serialised on the critical
+	// node (baseline scheme only).
+	Messaging float64
+	// Total is the simulated wall-clock of the build.
+	Total float64
+	// BalanceRatio is max/mean node load.
+	BalanceRatio float64
+	// Threads echoes the machine's hardware-thread count.
+	Threads int
+	// TasksPerNodeMean for diagnostics.
+	TasksPerNodeMean float64
+}
+
+// String renders the result compactly.
+func (r SimResult) String() string {
+	return fmt.Sprintf("total=%.4gs (compute=%.4g reduce=%.4g msg=%.4g) balance=%.4f threads=%d",
+		r.Total, r.Compute, r.Reduction, r.Messaging, r.BalanceRatio, r.Threads)
+}
+
+// Simulate executes the workload's schedule on the machine.
+//
+// The node level replays the real static assignment produced by package
+// sched. The intra-node level — 64 SMT threads draining the node's task
+// list from a shared queue — is modelled analytically: dynamic scheduling
+// of work divisible to quartet granularity balances to within half a
+// quartet of perfect, so
+//
+//	t_node = load/64 + quartetCost/2,
+//
+// which is exact in the limit the paper engineers for (quartet ≪ task).
+func (m *Machine) Simulate(w *Workload, opts SimOptions) SimResult {
+	if len(w.TaskCosts) == 0 {
+		return SimResult{Threads: m.Threads(), BalanceRatio: 1}
+	}
+	if w.TrueCosts != nil && len(w.TrueCosts) != len(w.TaskCosts) {
+		panic("bgq: TrueCosts length mismatch")
+	}
+	nodes := m.Nodes()
+	asn := sched.Balance(opts.Balancer, w.TaskCosts, nodes)
+
+	// Per-node execution time: true loads (if provided) + SMT split +
+	// OS noise (+ serialized per-task messaging for the baseline).
+	msgCost := 0.0
+	if opts.PerTaskMessages {
+		msgCost = 2 * (m.SoftwareLatency + float64(opts.MessageBytes)/m.LinkBandwidth +
+			float64(m.Torus.Diameter())/2*m.HopLatency)
+	}
+	taskWidth := opts.MaxThreadsPerTask
+	if taskWidth <= 0 || taskWidth > ThreadsPerNode {
+		taskWidth = ThreadsPerNode
+	}
+	var compute, messaging float64
+	var maxLoad, sumLoad float64
+	maxTasksNode := 0
+	for node := 0; node < nodes; node++ {
+		load := asn.Loads[node]
+		maxTask := 0.0
+		if w.TrueCosts != nil {
+			load = 0
+			for _, ti := range asn.Workers[node] {
+				load += w.TrueCosts[ti]
+			}
+		}
+		if taskWidth < ThreadsPerNode {
+			for _, ti := range asn.Workers[node] {
+				c := w.TaskCosts[ti]
+				if w.TrueCosts != nil {
+					c = w.TrueCosts[ti]
+				}
+				if c > maxTask {
+					maxTask = c
+				}
+			}
+		}
+		sumLoad += load
+		if load > maxLoad {
+			maxLoad = load
+		}
+		// A node finishes no earlier than its total work spread over all
+		// threads, and no earlier than its largest task spread over the
+		// threads allowed to cooperate on one task.
+		t := load / ThreadsPerNode
+		if floor := maxTask / float64(taskWidth); floor > t {
+			t = floor
+		}
+		t = (t + w.QuartetCost/2) * m.nodeNoise(node)
+		msg := msgCost * float64(len(asn.Workers[node]))
+		if t+msg > compute+messaging {
+			compute, messaging = t, msg
+		}
+		if len(asn.Workers[node]) > maxTasksNode {
+			maxTasksNode = len(asn.Workers[node])
+		}
+	}
+
+	// Reduction: reduce-scatter + allgather of the per-node contribution.
+	perNodeBytes := float64(w.KMatrixBytes)
+	if w.TouchedBytesPerTask > 0 {
+		touched := w.TouchedBytesPerTask * float64(maxTasksNode)
+		if touched < perNodeBytes {
+			perNodeBytes = touched
+		}
+	}
+	reduce := m.AllreduceTime(int(perNodeBytes), opts.Reduce) +
+		m.IntraNodeReduceTime(int(perNodeBytes))
+	visible := reduce * (1 - clamp01(opts.Overlap))
+	// Overlap cannot hide more communication than there is computation.
+	if hidden := reduce - visible; hidden > compute {
+		visible = reduce - compute
+	}
+
+	mean := sumLoad / float64(nodes)
+	ratio := 1.0
+	if mean > 0 {
+		ratio = maxLoad / mean
+	}
+	return SimResult{
+		Compute:          compute,
+		Reduction:        visible,
+		Messaging:        messaging,
+		Total:            compute + messaging + visible,
+		BalanceRatio:     ratio,
+		Threads:          m.Threads(),
+		TasksPerNodeMean: float64(len(w.TaskCosts)) / float64(nodes),
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// ScalePoint is one row of a strong-scaling study.
+type ScalePoint struct {
+	Racks      int
+	Threads    int
+	Result     SimResult
+	Speedup    float64 // vs the first (smallest) configuration
+	Efficiency float64 // speedup / ideal speedup
+}
+
+// StrongScaling runs the workload on each rack count and derives speedups
+// and parallel efficiencies relative to the smallest configuration.
+func StrongScaling(w *Workload, racks []int, opts SimOptions) ([]ScalePoint, error) {
+	if len(racks) == 0 {
+		return nil, fmt.Errorf("bgq: no rack counts given")
+	}
+	pts := make([]ScalePoint, 0, len(racks))
+	var t0 float64
+	var th0 int
+	for i, r := range racks {
+		m, err := New(r)
+		if err != nil {
+			return nil, err
+		}
+		res := m.Simulate(w, opts)
+		p := ScalePoint{Racks: r, Threads: m.Threads(), Result: res}
+		if i == 0 {
+			t0, th0 = res.Total, m.Threads()
+			p.Speedup, p.Efficiency = 1, 1
+		} else {
+			p.Speedup = t0 / res.Total
+			ideal := float64(m.Threads()) / float64(th0)
+			p.Efficiency = p.Speedup / ideal
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// WeakScaling grows the system with the machine (waters ∝ racks, the
+// paper's condensed-phase MD use case) and reports the per-build time at
+// each size; ideal weak scaling keeps Result.Total flat.
+func WeakScaling(watersPerRack, tasksPerRack int, racks []int, seed int64, opts SimOptions) ([]ScalePoint, error) {
+	if len(racks) == 0 {
+		return nil, fmt.Errorf("bgq: no rack counts given")
+	}
+	pts := make([]ScalePoint, 0, len(racks))
+	var t0 float64
+	for i, r := range racks {
+		m, err := New(r)
+		if err != nil {
+			return nil, err
+		}
+		w := CondensedPhaseWorkload(watersPerRack*r, tasksPerRack*r, seed)
+		res := m.Simulate(w, opts)
+		p := ScalePoint{Racks: r, Threads: m.Threads(), Result: res}
+		if i == 0 {
+			t0 = res.Total
+			p.Speedup, p.Efficiency = 1, 1
+		} else {
+			// Weak-scaling efficiency: T(1)/T(r) for proportional work.
+			p.Efficiency = t0 / res.Total
+			p.Speedup = p.Efficiency * float64(m.Threads()) / float64(pts[0].Threads)
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// SaturationThreads returns the thread count beyond which adding racks no
+// longer improves (or worsens) the time by at least 5%: the scalability
+// limit used for the paper's ">20-fold improvement" comparison (E2).
+func SaturationThreads(pts []ScalePoint) int {
+	if len(pts) == 0 {
+		return 0
+	}
+	best := pts[0]
+	for _, p := range pts[1:] {
+		if p.Result.Total < best.Result.Total*0.95 {
+			best = p
+		} else {
+			break
+		}
+	}
+	return best.Threads
+}
+
+// TimeToSolution returns the simulated wall-clock at the given rack count
+// (convenience for the E3 comparison).
+func TimeToSolution(w *Workload, racks int, opts SimOptions) (float64, error) {
+	m, err := New(racks)
+	if err != nil {
+		return 0, err
+	}
+	return m.Simulate(w, opts).Total, nil
+}

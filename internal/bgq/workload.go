@@ -1,0 +1,150 @@
+package bgq
+
+import (
+	"fmt"
+	"math"
+
+	"hfxmd/internal/basis"
+	"hfxmd/internal/hfx"
+	"hfxmd/internal/screen"
+)
+
+// Per-water condensed-phase statistics measured from the real pipeline on
+// water clusters with the default ε = 1e-8 screening (see the calibration
+// test in workload_test.go). These extrapolate the screened workload to
+// system sizes whose pair lists would be impractical to enumerate here —
+// the substitution documented in DESIGN.md for the paper's production
+// systems.
+const (
+	// pairsPerWaterSTO is the surviving shell pairs per water molecule in
+	// a liquid-density cluster (STO-3G).
+	pairsPerWaterSTO = 300
+	// quartetsPerPair is the significant partner pairs each pair couples
+	// to in the exchange contraction (roughly N-independent because the
+	// density decays).
+	quartetsPerPair = 600
+	// quartetCostSTO is the mean contracted-quartet evaluation time in
+	// seconds on a BG/Q core (measured ~tens of microseconds in our Go
+	// kernels; BG/Q A2 cores at 1.6 GHz are comparable).
+	quartetCostSTO = 30e-6
+	// basisPerWater counts basis functions per water (STO-3G).
+	basisPerWater = 7
+)
+
+// CondensedPhaseWorkload synthesises the screened HFX workload of an
+// (H2O)_n liquid-density system at node-task granularity. taskTarget sets
+// how many node-level tasks the decomposition produces (the paper sizes
+// tasks so that every node holds a few dozen; quartets remain the finest
+// unit and are split dynamically inside the node).
+func CondensedPhaseWorkload(nWater, taskTarget int, seed int64) *Workload {
+	if nWater < 1 {
+		panic("bgq: need at least one water")
+	}
+	if taskTarget < 1 {
+		taskTarget = 1 << 20
+	}
+	totalQuartets := float64(nWater) * pairsPerWaterSTO * quartetsPerPair
+	totalWork := totalQuartets * quartetCostSTO
+	granule := totalWork / float64(taskTarget)
+
+	costs := make([]float64, taskTarget)
+	h := uint64(seed)*0x9e3779b97f4a7c15 + 1
+	for i := range costs {
+		// Tasks are granule-sized by construction with a small residual
+		// spread (±5%) from uneven quartet boundaries.
+		h ^= h << 13
+		h ^= h >> 7
+		h ^= h << 17
+		frac := float64(h%1000)/1000 - 0.5
+		costs[i] = granule * (1 + 0.1*frac)
+	}
+	nb := nWater * basisPerWater
+	quartetsPerTask := totalQuartets / float64(taskTarget)
+	return &Workload{
+		Name:         fmt.Sprintf("(H2O)%d condensed-phase HFX", nWater),
+		TaskCosts:    costs,
+		KMatrixBytes: nb * nb * 8,
+		// Each quartet writes ≤8 small K blocks; shared bra rows dedupe
+		// most of it, ~500 bytes of distinct K per quartet survives.
+		TouchedBytesPerTask: 500 * quartetsPerTask,
+		QuartetCost:         quartetCostSTO,
+	}
+}
+
+// Baseline inefficiency factors relative to the paper's kernels,
+// reflecting what the "directly comparable approaches" lacked:
+const (
+	// baselineKernelFactor: scalar inner loops instead of the 4-wide
+	// QPX-batched Boys/Hermite kernels.
+	baselineKernelFactor = 3.0
+	// baselineScreenFactor: plain Schwarz screening without density
+	// weighting and without the condensed-phase distance pre-screen
+	// computes ~3× more quartets at the same accuracy.
+	baselineScreenFactor = 3.0
+)
+
+// BaselineWorkload synthesises the same physical system decomposed the
+// state-of-the-art way: one task per bra shell pair (no chunking), with
+// the heavy-tailed cost distribution that pair lists exhibit (cost ∝
+// number of surviving partner pairs, which spans orders of magnitude),
+// scalar kernels and weaker screening (see the factors above). K is
+// distributed, so only negligible per-task slices are reduced — the
+// scheme pays in per-task messaging instead (see BaselineScheme).
+func BaselineWorkload(nWater int, seed int64) *Workload {
+	pairs := nWater * pairsPerWaterSTO
+	costs := make([]float64, pairs)
+	h := uint64(seed)*0x2545f4914f6cdd1d + 1
+	meanCost := quartetsPerPair * quartetCostSTO * baselineKernelFactor * baselineScreenFactor
+	for i := range costs {
+		h ^= h << 13
+		h ^= h >> 7
+		h ^= h << 17
+		// Log-normal-ish tail: most pairs cheap, a few very expensive.
+		u1 := float64(h%100000)/100000 + 1e-9
+		h ^= h << 13
+		h ^= h >> 7
+		h ^= h << 17
+		u2 := float64(h%100000) / 100000
+		z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+		costs[i] = meanCost * math.Exp(0.9*z-0.405) // unit-mean log-normal
+	}
+	nb := nWater * basisPerWater
+	return &Workload{
+		Name:                fmt.Sprintf("(H2O)%d baseline pair-distributed HFX", nWater),
+		TaskCosts:           costs,
+		KMatrixBytes:        nb * nb * 8,
+		TouchedBytesPerTask: 500, // K distributed: only local slices reduce
+		QuartetCost:         quartetCostSTO * baselineKernelFactor,
+	}
+}
+
+// MeasuredWorkload converts a real task decomposition from package hfx
+// into a simulator workload, using the calibrated cost model to convert
+// abstract cost units (nanoseconds) to seconds. This grounds the
+// synthetic generators: their statistics are validated against this path
+// in the tests.
+func MeasuredWorkload(set *basis.Set, pairs []screen.Pair, tasks []hfx.Task) *Workload {
+	costs := make([]float64, len(tasks))
+	var maxQ float64
+	for i := range tasks {
+		costs[i] = tasks[i].Cost * 1e-9
+		if c := tasks[i].Cost / float64(maxInt(tasks[i].QuartetsInTask, 1)); c > maxQ {
+			maxQ = c
+		}
+	}
+	nb := set.NBasis
+	return &Workload{
+		Name:                fmt.Sprintf("%s measured HFX", set.Mol.Name),
+		TaskCosts:           costs,
+		KMatrixBytes:        nb * nb * 8,
+		TouchedBytesPerTask: 500 * float64(hfx.TotalQuartets(tasks)) / float64(maxInt(len(tasks), 1)),
+		QuartetCost:         maxQ * 1e-9,
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,168 @@
+package dft
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"hfxmd/internal/basis"
+	"hfxmd/internal/chem"
+	"hfxmd/internal/integrals"
+	"hfxmd/internal/linalg"
+)
+
+// XCResult holds the integrated exchange–correlation quantities.
+type XCResult struct {
+	// Energy is the semilocal XC energy in hartree.
+	Energy float64
+	// V is the Kohn–Sham XC matrix.
+	V *linalg.Matrix
+	// NElec is the grid-integrated electron count (grid diagnostic).
+	NElec float64
+}
+
+// EvalBasis computes every basis-function value and gradient at point r.
+// vals and grads must have length set.NBasis.
+func EvalBasis(set *basis.Set, r chem.Vec3, vals []float64, grads [][3]float64) {
+	for i := range vals {
+		vals[i] = 0
+		grads[i] = [3]float64{}
+	}
+	for si := range set.Shells {
+		sh := &set.Shells[si]
+		d := [3]float64{r[0] - sh.Center[0], r[1] - sh.Center[1], r[2] - sh.Center[2]}
+		r2 := d[0]*d[0] + d[1]*d[1] + d[2]*d[2]
+		comps := integrals.Components(sh.L)
+		for ci, comp := range comps {
+			norm := integrals.ComponentNorm(comp)
+			idx := sh.Index + ci
+			pows := [3]int{comp.X, comp.Y, comp.Z}
+			// Angular part and its derivative factors.
+			ang := powi(d[0], pows[0]) * powi(d[1], pows[1]) * powi(d[2], pows[2])
+			for pi, alpha := range sh.Exps {
+				c := sh.Coefs[pi] * norm
+				g := c * math.Exp(-alpha*r2)
+				vals[idx] += g * ang
+				for k := 0; k < 3; k++ {
+					// d/dx [x^l e^{-αr²}] = (l x^{l-1} − 2αx·x^l) e^{-αr²}.
+					var dAng float64
+					if pows[k] > 0 {
+						dAng = float64(pows[k]) * powi(d[k], pows[k]-1)
+						for j := 0; j < 3; j++ {
+							if j != k {
+								dAng *= powi(d[j], pows[j])
+							}
+						}
+					}
+					grads[idx][k] += g * (dAng - 2*alpha*d[k]*ang)
+				}
+			}
+		}
+	}
+}
+
+func powi(x float64, n int) float64 {
+	r := 1.0
+	for i := 0; i < n; i++ {
+		r *= x
+	}
+	return r
+}
+
+// Integrate evaluates the semilocal XC energy and matrix for density p
+// over the grid, parallelising over grid points with per-worker private
+// matrices (the same private-buffer + tree-merge pattern as package hfx).
+func Integrate(f Functional, set *basis.Set, g *Grid, p *linalg.Matrix) XCResult {
+	n := set.NBasis
+	nw := runtime.GOMAXPROCS(0)
+	if nw > len(g.Points) {
+		nw = 1
+	}
+	type partial struct {
+		v      *linalg.Matrix
+		energy float64
+		nelec  float64
+	}
+	parts := make([]partial, nw)
+	var wg sync.WaitGroup
+	chunk := (len(g.Points) + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(g.Points) {
+				hi = len(g.Points)
+			}
+			vals := make([]float64, n)
+			grads := make([][3]float64, n)
+			v := linalg.NewSquare(n)
+			var energy, nelec float64
+			needGrad := f.NeedsGradient()
+			for _, pt := range g.Points[lo:hi] {
+				EvalBasis(set, pt.Pos, vals, grads)
+				// ρ = Σ_{μν} P_{μν} φ_μ φ_ν ; ∇ρ = 2 Σ P φ_μ ∇φ_ν.
+				var rho float64
+				var grho [3]float64
+				for i := 0; i < n; i++ {
+					if vals[i] == 0 && grads[i] == ([3]float64{}) {
+						continue
+					}
+					row := p.Row(i)
+					var t float64
+					for j := 0; j < n; j++ {
+						t += row[j] * vals[j]
+					}
+					rho += t * vals[i]
+					if needGrad {
+						for k := 0; k < 3; k++ {
+							grho[k] += 2 * t * grads[i][k]
+						}
+					}
+				}
+				if rho < rhoFloor {
+					continue
+				}
+				gamma := grho[0]*grho[0] + grho[1]*grho[1] + grho[2]*grho[2]
+				fv, dfdrho, dfdgamma := f.Eval(rho, gamma)
+				energy += pt.W * fv
+				nelec += pt.W * rho
+				// V_{μν} += w [ ∂f/∂ρ φμφν + 2 ∂f/∂γ ∇ρ·(φμ∇φν + φν∇φμ) ].
+				for i := 0; i < n; i++ {
+					fi := vals[i]
+					wi := pt.W * dfdrho * fi
+					var gi float64
+					if needGrad && dfdgamma != 0 {
+						gi = 2 * pt.W * dfdgamma *
+							(grho[0]*grads[i][0] + grho[1]*grads[i][1] + grho[2]*grads[i][2])
+					}
+					row := v.Row(i)
+					for j := 0; j < n; j++ {
+						row[j] += wi * vals[j]
+						if gi != 0 {
+							row[j] += gi * vals[j]
+						}
+						if needGrad && dfdgamma != 0 {
+							row[j] += 2 * pt.W * dfdgamma * fi *
+								(grho[0]*grads[j][0] + grho[1]*grads[j][1] + grho[2]*grads[j][2])
+						}
+					}
+				}
+			}
+			parts[w] = partial{v: v, energy: energy, nelec: nelec}
+		}(w)
+	}
+	wg.Wait()
+	res := XCResult{V: linalg.NewSquare(n)}
+	for _, pt := range parts {
+		if pt.v == nil {
+			continue
+		}
+		res.V.AXPY(1, pt.v)
+		res.Energy += pt.energy
+		res.NElec += pt.nelec
+	}
+	res.V.Symmetrize()
+	return res
+}

@@ -1,0 +1,337 @@
+package hfx
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hfxmd/internal/integrals"
+	"hfxmd/internal/linalg"
+	"hfxmd/internal/qpx"
+	"hfxmd/internal/sched"
+	"hfxmd/internal/screen"
+	"hfxmd/internal/trace"
+)
+
+// Options configures a Builder.
+type Options struct {
+	// Threads is the number of worker goroutines ("hardware threads" in
+	// the paper's terms). Zero means GOMAXPROCS.
+	Threads int
+	// Balancer selects the static load-balancing algorithm. The paper's
+	// scheme is sched.LPT; sched.Block reproduces the naive layout.
+	Balancer sched.Algorithm
+	// Granule is the target task cost passed to GenerateTasks (0 = auto).
+	Granule float64
+	// DensityWeighted enables the P-weighted Schwarz quartet test, which
+	// tightens screening as SCF converges.
+	DensityWeighted bool
+	// Vector turns on the QPX-structured batched kernel.
+	Vector bool
+	// Dynamic replaces the static assignment with a shared work queue
+	// drained by the workers — the paper's work-stealing fallback for
+	// when cost predictions are off. Tasks are dispatched in the static
+	// balancer's cost order, so the static schedule remains the
+	// performance model of record.
+	Dynamic bool
+	// Cost overrides the cost model (zero value = DefaultCostModel).
+	Cost CostModel
+}
+
+// DefaultOptions returns the paper's production configuration.
+func DefaultOptions() Options {
+	return Options{
+		Balancer:        sched.LPT,
+		DensityWeighted: true,
+		Vector:          true,
+	}
+}
+
+// BaselineOptions reproduces the "directly comparable approach": naive
+// block distribution of un-chunked pair work, no density weighting, no
+// vectorization.
+func BaselineOptions() Options {
+	return Options{
+		Balancer:        sched.Block,
+		DensityWeighted: false,
+		Vector:          false,
+		Granule:         1e18, // one task per bra pair: no chunking
+	}
+}
+
+// Report describes one Fock-build execution.
+type Report struct {
+	NTasks           int
+	QuartetsComputed int64
+	QuartetsScreened int64
+	BalanceRatio     float64
+	TheoreticalEff   float64
+	Wall             time.Duration
+	ReduceDepth      int
+	LaneUtilization  float64 // 0 when Vector is off
+	ScreeningStats   screen.Stats
+	TaskCostStats    sched.CostStats
+	// Timings charges wall-clock to the "compute" and "reduce" phases.
+	Timings *trace.Timer
+}
+
+// String renders a one-line summary.
+func (r Report) String() string {
+	return fmt.Sprintf("tasks=%d quartets=%d screened=%d balance=%.4f wall=%v reduce=%d lanes=%.2f",
+		r.NTasks, r.QuartetsComputed, r.QuartetsScreened, r.BalanceRatio, r.Wall, r.ReduceDepth, r.LaneUtilization)
+}
+
+// Builder evaluates Coulomb (J) and exchange (K) matrices with the
+// paper's task-parallel scheme. It is created once per geometry and
+// reused across SCF iterations; BuildJK is safe to call repeatedly but
+// not concurrently with itself.
+type Builder struct {
+	Eng   *integrals.Engine
+	Scr   *screen.Result
+	Opts  Options
+	tasks []Task
+	asn   *sched.Assignment
+}
+
+// NewBuilder prepares the task decomposition for the given engine and
+// screening result.
+func NewBuilder(eng *integrals.Engine, scr *screen.Result, opts Options) *Builder {
+	if opts.Threads <= 0 {
+		opts.Threads = runtime.GOMAXPROCS(0)
+	}
+	if opts.Cost == (CostModel{}) {
+		opts.Cost = DefaultCostModel()
+	}
+	eng.Vector = opts.Vector
+	b := &Builder{Eng: eng, Scr: scr, Opts: opts}
+	b.tasks = GenerateTasks(eng.Basis, scr.Pairs, opts.Cost, opts.Granule)
+	b.asn = sched.Balance(opts.Balancer, TaskCosts(b.tasks), opts.Threads)
+	return b
+}
+
+// Tasks exposes the generated task list (read-only) for the machine
+// simulator.
+func (b *Builder) Tasks() []Task { return b.tasks }
+
+// Assignment exposes the static schedule (read-only).
+func (b *Builder) Assignment() *sched.Assignment { return b.asn }
+
+// BuildJK computes the Coulomb and exchange matrices for density P:
+//
+//	J[μν] = Σ_{λσ} P[λσ] (μν|λσ),   K[μν] = Σ_{λσ} P[λσ] (μλ|νσ).
+//
+// Both are assembled in one pass over the screened canonical quartets.
+func (b *Builder) BuildJK(p *linalg.Matrix) (j, k *linalg.Matrix, rep Report) {
+	n := b.Eng.Basis.NBasis
+	if p.Rows != n || p.Cols != n {
+		panic("hfx: density dimension mismatch")
+	}
+	start := time.Now()
+	nw := b.asn.NWorkers()
+	jBufs := make([]*linalg.Matrix, nw)
+	kBufs := make([]*linalg.Matrix, nw)
+	var computed, screened atomic.Int64
+	var stats qpx.Stats
+	timings := trace.NewTimer()
+
+	timings.Phase("compute", func() {
+		var queue chan int
+		if b.Opts.Dynamic {
+			// Shared-queue dispatch in descending cost order (LPT order):
+			// heaviest tasks first minimises the tail.
+			queue = make(chan int, len(b.tasks))
+			order := make([]int, len(b.tasks))
+			for i := range order {
+				order[i] = i
+			}
+			sort.Slice(order, func(x, y int) bool {
+				return b.tasks[order[x]].Cost > b.tasks[order[y]].Cost
+			})
+			for _, ti := range order {
+				queue <- ti
+			}
+			close(queue)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				jw := linalg.NewSquare(n)
+				kw := linalg.NewSquare(n)
+				jBufs[w], kBufs[w] = jw, kw
+				buf := make([]float64, b.Eng.MaxERIBufLen())
+				var st *qpx.Stats
+				if b.Opts.Vector {
+					st = &stats
+				}
+				if queue != nil {
+					for ti := range queue {
+						b.runTask(&b.tasks[ti], p, jw, kw, buf, st, &computed, &screened)
+					}
+					return
+				}
+				for _, ti := range b.asn.Workers[w] {
+					t := &b.tasks[ti]
+					b.runTask(t, p, jw, kw, buf, st, &computed, &screened)
+				}
+			}(w)
+		}
+		wg.Wait()
+	})
+
+	// Hierarchical pairwise reduction (binary tree), mirroring the
+	// machine-scale K allreduce over the torus.
+	depth := 0
+	timings.Phase("reduce", func() {
+		for stride := 1; stride < nw; stride *= 2 {
+			depth++
+			var rwg sync.WaitGroup
+			for lo := 0; lo+stride < nw; lo += 2 * stride {
+				rwg.Add(1)
+				go func(dst, src int) {
+					defer rwg.Done()
+					jBufs[dst].AXPY(1, jBufs[src])
+					kBufs[dst].AXPY(1, kBufs[src])
+				}(lo, lo+stride)
+			}
+			rwg.Wait()
+		}
+	})
+	j, k = jBufs[0], kBufs[0]
+	if nw == 1 {
+		depth = 0
+	}
+
+	rep = Report{
+		NTasks:           len(b.tasks),
+		QuartetsComputed: computed.Load(),
+		QuartetsScreened: screened.Load(),
+		BalanceRatio:     b.asn.BalanceRatio(),
+		TheoreticalEff:   b.asn.TheoreticalEfficiency(),
+		Wall:             time.Since(start),
+		ReduceDepth:      depth,
+		ScreeningStats:   b.Scr.Stats,
+		TaskCostStats:    sched.Summarize(TaskCosts(b.tasks)),
+	}
+	if b.Opts.Vector {
+		rep.LaneUtilization = stats.Utilization()
+	}
+	return j, k, rep
+}
+
+// slot mappings of the 8 index permutations of a quartet (a,b,c,d) that
+// leave the integral invariant: position k of the image takes the
+// function index of original slot perm[k].
+var eriPerms = [8][4]int{
+	{0, 1, 2, 3}, // abcd
+	{1, 0, 2, 3}, // bacd
+	{0, 1, 3, 2}, // abdc
+	{1, 0, 3, 2}, // badc
+	{2, 3, 0, 1}, // cdab
+	{2, 3, 1, 0}, // cdba
+	{3, 2, 0, 1}, // dcab
+	{3, 2, 1, 0}, // dcba
+}
+
+// runTask executes one task: loops its quartets, applies the quartet-level
+// screen, evaluates surviving blocks, and scatters them into the private
+// J/K buffers via the distinct permutation images.
+func (b *Builder) runTask(t *Task, p, jw, kw *linalg.Matrix, buf []float64,
+	st *qpx.Stats, computed, screened *atomic.Int64) {
+	set := b.Eng.Basis
+	bra := b.Scr.Pairs[t.Bra]
+	for ji := t.KetLo; ji < t.KetHi; ji++ {
+		ket := b.Scr.Pairs[ji]
+		if b.Opts.DensityWeighted {
+			pmax := screen.MaxDensityAbs(set, p, bra.A, bra.B, ket.A, ket.B)
+			// Both the J and K contractions multiply the integral by a
+			// density element; bound with the larger of the coupling
+			// blocks and the bra/ket diagonal blocks used by J.
+			pj := screen.MaxDensityAbs(set, p, bra.A, ket.A, bra.B, ket.B)
+			if pj > pmax {
+				pmax = pj
+			}
+			if !b.Scr.QuartetSurvivesWeighted(bra, ket, pmax) {
+				screened.Add(1)
+				continue
+			}
+		} else if !b.Scr.QuartetSurvives(bra, ket) {
+			screened.Add(1)
+			continue
+		}
+		computed.Add(1)
+		scatterQuartet(b.Eng, bra.A, bra.B, ket.A, ket.B, p, jw, kw, buf, st)
+	}
+}
+
+// scatterQuartet evaluates (ab|cd) once and adds its contributions to J
+// and K for every distinct permutation image.
+func scatterQuartet(eng *integrals.Engine, a, b, c, d int,
+	p, jw, kw *linalg.Matrix, buf []float64, st *qpx.Stats) {
+	set := eng.Basis
+	shells := [4]int{a, b, c, d}
+	var ns [4]int
+	var offs [4]int
+	for s := 0; s < 4; s++ {
+		shp := &set.Shells[shells[s]]
+		ns[s] = shp.NFuncs()
+		offs[s] = shp.Index
+	}
+	blk := buf[:ns[0]*ns[1]*ns[2]*ns[3]]
+	eng.ERIShell(a, b, c, d, blk, st)
+
+	// Distinct images of the shell tuple under the 8 permutations.
+	var images [8][4]int
+	nimg := 0
+	for _, perm := range eriPerms {
+		img := [4]int{shells[perm[0]], shells[perm[1]], shells[perm[2]], shells[perm[3]]}
+		dup := false
+		for i := 0; i < nimg; i++ {
+			if images[i] == img {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		images[nimg] = img
+		nimg++
+		// Scatter this image: image slot k holds original slot perm[k].
+		var f [4]int
+		for f[0] = 0; f[0] < ns[0]; f[0]++ {
+			for f[1] = 0; f[1] < ns[1]; f[1]++ {
+				for f[2] = 0; f[2] < ns[2]; f[2]++ {
+					base := ((f[0]*ns[1]+f[1])*ns[2] + f[2]) * ns[3]
+					for f[3] = 0; f[3] < ns[3]; f[3]++ {
+						v := blk[base+f[3]]
+						if v == 0 {
+							continue
+						}
+						g0 := offs[perm[0]] + f[perm[0]]
+						g1 := offs[perm[1]] + f[perm[1]]
+						g2 := offs[perm[2]] + f[perm[2]]
+						g3 := offs[perm[3]] + f[perm[3]]
+						jw.Add(g0, g1, p.At(g2, g3)*v)
+						kw.Add(g0, g2, p.At(g1, g3)*v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// ExchangeEnergy returns the exchange energy contribution for a
+// closed-shell density: E_K = −¼ Σ_{μν} P[μν]·K[μν].
+func ExchangeEnergy(p, k *linalg.Matrix) float64 {
+	return -0.25 * linalg.TraceMul(p, k)
+}
+
+// CoulombEnergy returns E_J = ½ Σ P∘J.
+func CoulombEnergy(p, j *linalg.Matrix) float64 {
+	return 0.5 * linalg.TraceMul(p, j)
+}

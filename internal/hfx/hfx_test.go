@@ -1,0 +1,338 @@
+package hfx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hfxmd/internal/basis"
+	"hfxmd/internal/chem"
+	"hfxmd/internal/integrals"
+	"hfxmd/internal/linalg"
+	"hfxmd/internal/sched"
+	"hfxmd/internal/screen"
+)
+
+// testDensity returns a plausible symmetric positive-ish density matrix
+// (scaled identity plus symmetric noise) for exercising J/K builds.
+func testDensity(n int, seed int64) *linalg.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	p := linalg.NewSquare(n)
+	for i := 0; i < n; i++ {
+		p.Set(i, i, 1+0.5*rng.Float64())
+		for j := i + 1; j < n; j++ {
+			v := 0.2 * rng.NormFloat64()
+			p.Set(i, j, v)
+			p.Set(j, i, v)
+		}
+	}
+	return p
+}
+
+func setup(t testing.TB, mol *chem.Molecule, eps float64) (*integrals.Engine, *screen.Result) {
+	eng := integrals.NewEngine(basis.MustBuild("STO-3G", mol))
+	scr := screen.BuildPairList(eng, screen.Options{Threshold: eps, ExtentEps: 1e-12})
+	return eng, scr
+}
+
+func TestBuilderMatchesReferenceWater(t *testing.T) {
+	eng, scr := setup(t, chem.Water(), 1e-14)
+	p := testDensity(eng.Basis.NBasis, 1)
+	for _, threads := range []int{1, 2, 4, 7} {
+		opts := DefaultOptions()
+		opts.Threads = threads
+		opts.DensityWeighted = false
+		b := NewBuilder(eng, scr, opts)
+		j, k, rep := b.BuildJK(p)
+		jr, kr := ReferenceJK(eng, p)
+		if d := linalg.MaxAbsDiff(j, jr); d > 1e-10 {
+			t.Fatalf("threads=%d: J differs from reference by %g", threads, d)
+		}
+		if d := linalg.MaxAbsDiff(k, kr); d > 1e-10 {
+			t.Fatalf("threads=%d: K differs from reference by %g", threads, d)
+		}
+		if rep.QuartetsComputed == 0 {
+			t.Fatal("no quartets computed")
+		}
+	}
+}
+
+func TestBuilderMatchesReferenceCluster(t *testing.T) {
+	eng, scr := setup(t, chem.WaterCluster(3, 7), 1e-14)
+	p := testDensity(eng.Basis.NBasis, 2)
+	b := NewBuilder(eng, scr, Options{Threads: 4, Balancer: sched.LPT})
+	j, k, _ := b.BuildJK(p)
+	jr, kr := ReferenceJK(eng, p)
+	if d := linalg.MaxAbsDiff(j, jr); d > 1e-9 {
+		t.Fatalf("J differs from reference by %g", d)
+	}
+	if d := linalg.MaxAbsDiff(k, kr); d > 1e-9 {
+		t.Fatalf("K differs from reference by %g", d)
+	}
+}
+
+func TestVectorKernelMatchesScalar(t *testing.T) {
+	eng, scr := setup(t, chem.Water(), 1e-14)
+	p := testDensity(eng.Basis.NBasis, 3)
+
+	optsS := DefaultOptions()
+	optsS.Vector = false
+	optsS.Threads = 2
+	js, ks, _ := NewBuilder(eng, scr, optsS).BuildJK(p)
+
+	engV := integrals.NewEngine(eng.Basis)
+	optsV := DefaultOptions()
+	optsV.Vector = true
+	optsV.Threads = 2
+	jv, kv, rep := NewBuilder(engV, scr, optsV).BuildJK(p)
+
+	if d := linalg.MaxAbsDiff(js, jv); d > 1e-11 {
+		t.Fatalf("vector J differs by %g", d)
+	}
+	if d := linalg.MaxAbsDiff(ks, kv); d > 1e-11 {
+		t.Fatalf("vector K differs by %g", d)
+	}
+	if rep.LaneUtilization <= 0 || rep.LaneUtilization > 1 {
+		t.Fatalf("lane utilization %g", rep.LaneUtilization)
+	}
+}
+
+func TestScreeningErrorControlled(t *testing.T) {
+	// E4 in miniature: looser thresholds give larger but bounded errors,
+	// and the error decreases monotonically-ish with ε.
+	mol := chem.WaterCluster(2, 5)
+	eng := integrals.NewEngine(basis.MustBuild("STO-3G", mol))
+	p := testDensity(eng.Basis.NBasis, 4)
+	_, kexact := ReferenceJK(eng, p)
+
+	prevErr := math.Inf(1)
+	for _, eps := range []float64{1e-4, 1e-8, 1e-12} {
+		scr := screen.BuildPairList(eng, screen.Options{Threshold: eps, ExtentEps: 1e-14})
+		opts := DefaultOptions()
+		opts.Threads = 2
+		opts.DensityWeighted = false
+		_, k, _ := NewBuilder(eng, scr, opts).BuildJK(p)
+		err := linalg.MaxAbsDiff(k, kexact)
+		if err > prevErr*1.5+1e-12 {
+			t.Fatalf("error grew when tightening ε: %g -> %g", prevErr, err)
+		}
+		prevErr = err
+	}
+	if prevErr > 1e-10 {
+		t.Fatalf("tightest screen error %g too large", prevErr)
+	}
+}
+
+func TestDensityWeightedScreeningStillAccurate(t *testing.T) {
+	eng, scr := setup(t, chem.WaterCluster(2, 9), 1e-10)
+	p := testDensity(eng.Basis.NBasis, 5)
+	opts := DefaultOptions()
+	opts.Threads = 3
+	_, k, rep := NewBuilder(eng, scr, opts).BuildJK(p)
+	_, kr := ReferenceJK(eng, p)
+	if d := linalg.MaxAbsDiff(k, kr); d > 1e-7 {
+		t.Fatalf("density-weighted K error %g", d)
+	}
+	if rep.QuartetsScreened == 0 {
+		t.Log("note: nothing screened on this tiny system (acceptable)")
+	}
+}
+
+func TestBaselineProducesSameMatrixWorseBalance(t *testing.T) {
+	eng, scr := setup(t, chem.WaterCluster(4, 11), 1e-10)
+	p := testDensity(eng.Basis.NBasis, 6)
+
+	paper := DefaultOptions()
+	paper.Threads = 8
+	paper.Vector = false
+	paper.DensityWeighted = false
+	jp, kp, repPaper := NewBuilder(eng, scr, paper).BuildJK(p)
+
+	engB := integrals.NewEngine(eng.Basis)
+	base := BaselineOptions()
+	base.Threads = 8
+	jb, kb, repBase := NewBuilder(engB, scr, base).BuildJK(p)
+
+	if d := linalg.MaxAbsDiff(jp, jb); d > 1e-10 {
+		t.Fatalf("baseline J differs by %g", d)
+	}
+	if d := linalg.MaxAbsDiff(kp, kb); d > 1e-10 {
+		t.Fatalf("baseline K differs by %g", d)
+	}
+	if repPaper.BalanceRatio > repBase.BalanceRatio+1e-9 {
+		t.Fatalf("paper scheme balance %.4f worse than baseline %.4f",
+			repPaper.BalanceRatio, repBase.BalanceRatio)
+	}
+}
+
+func TestSymmetryOfJK(t *testing.T) {
+	eng, scr := setup(t, chem.Water(), 1e-12)
+	p := testDensity(eng.Basis.NBasis, 8)
+	opts := DefaultOptions()
+	opts.Threads = 4
+	j, k, _ := NewBuilder(eng, scr, opts).BuildJK(p)
+	if !j.IsSymmetric(1e-9) {
+		t.Fatal("J not symmetric")
+	}
+	if !k.IsSymmetric(1e-9) {
+		t.Fatal("K not symmetric")
+	}
+}
+
+func TestEnergyHelpers(t *testing.T) {
+	eng, scr := setup(t, chem.Hydrogen(1.4), 1e-14)
+	n := eng.Basis.NBasis
+	p := linalg.NewSquare(n)
+	// Closed-shell H2 density in the bonding MO: P = 2·c·cᵀ with
+	// c = (φ1+φ2)/√(2(1+S12)).
+	s := eng.Overlap()
+	c := 1 / math.Sqrt(2*(1+s.At(0, 1)))
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			p.Set(i, j, 2*c*c)
+		}
+	}
+	opts := DefaultOptions()
+	opts.Threads = 1
+	opts.DensityWeighted = false
+	jm, km, _ := NewBuilder(eng, scr, opts).BuildJK(p)
+	ej := CoulombEnergy(p, jm)
+	ek := ExchangeEnergy(p, km)
+	if ej <= 0 {
+		t.Fatalf("Coulomb energy %g not positive", ej)
+	}
+	if ek >= 0 {
+		t.Fatalf("exchange energy %g not negative", ek)
+	}
+	// For a 2-electron single-determinant system, E_x = −½ E_J exactly
+	// (self-interaction cancellation).
+	if math.Abs(ek+0.5*ej) > 1e-10 {
+		t.Fatalf("2-electron identity violated: EK=%g EJ=%g", ek, ej)
+	}
+}
+
+func TestTaskGeneration(t *testing.T) {
+	eng, scr := setup(t, chem.WaterCluster(4, 13), 1e-10)
+	cm := DefaultCostModel()
+	tasks := GenerateTasks(eng.Basis, scr.Pairs, cm, 0)
+	if len(tasks) == 0 {
+		t.Fatal("no tasks")
+	}
+	// Every canonical (bra, ket≤bra) combination covered exactly once.
+	np := len(scr.Pairs)
+	covered := make(map[[2]int]bool)
+	for _, task := range tasks {
+		if task.KetHi > task.Bra+1 {
+			t.Fatalf("task ket range [%d,%d) exceeds bra %d", task.KetLo, task.KetHi, task.Bra)
+		}
+		for j := task.KetLo; j < task.KetHi; j++ {
+			key := [2]int{task.Bra, j}
+			if covered[key] {
+				t.Fatalf("quartet %v covered twice", key)
+			}
+			covered[key] = true
+		}
+	}
+	want := np * (np + 1) / 2
+	if len(covered) != want {
+		t.Fatalf("covered %d quartets, want %d", len(covered), want)
+	}
+	if TotalQuartets(tasks) != want {
+		t.Fatalf("TotalQuartets %d want %d", TotalQuartets(tasks), want)
+	}
+}
+
+func TestGranuleControlsTaskCount(t *testing.T) {
+	eng, scr := setup(t, chem.WaterCluster(4, 13), 1e-10)
+	cm := DefaultCostModel()
+	coarse := GenerateTasks(eng.Basis, scr.Pairs, cm, 1e12)
+	fine := GenerateTasks(eng.Basis, scr.Pairs, cm, 5000)
+	if len(fine) <= len(coarse) {
+		t.Fatalf("finer granule should create more tasks: %d vs %d", len(fine), len(coarse))
+	}
+}
+
+func TestCostModelMonotone(t *testing.T) {
+	eng, _ := setup(t, chem.Water(), 1e-10)
+	cm := DefaultCostModel()
+	set := eng.Basis
+	// Oxygen p-shell quartet must cost more than hydrogen s-shell quartet.
+	var pShell, sShell int = -1, -1
+	for i := range set.Shells {
+		if set.Shells[i].L == 1 {
+			pShell = i
+		}
+		if set.Shells[i].L == 0 && set.Shells[i].Atom > 0 {
+			sShell = i
+		}
+	}
+	cp := cm.Quartet(&set.Shells[pShell], &set.Shells[pShell], &set.Shells[pShell], &set.Shells[pShell])
+	cs := cm.Quartet(&set.Shells[sShell], &set.Shells[sShell], &set.Shells[sShell], &set.Shells[sShell])
+	if cp <= cs {
+		t.Fatalf("p quartet cost %g <= s quartet cost %g", cp, cs)
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	eng, _ := setup(t, chem.Water(), 1e-10)
+	cm := Calibrate(eng)
+	if cm.PerPrimComp <= 0 || cm.PerQuartet <= 0 {
+		t.Fatalf("calibrated model %+v not positive", cm)
+	}
+	// Degenerate basis falls back to defaults.
+	single := integrals.NewEngine(basis.MustBuild("STO-3G", chem.Helium()))
+	if Calibrate(single) != DefaultCostModel() {
+		t.Fatal("single-shell calibration should fall back to default")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	eng, scr := setup(t, chem.Water(), 1e-10)
+	p := testDensity(eng.Basis.NBasis, 20)
+	opts := DefaultOptions()
+	opts.Threads = 2
+	_, _, rep := NewBuilder(eng, scr, opts).BuildJK(p)
+	if rep.String() == "" {
+		t.Fatal("empty report")
+	}
+	if rep.NTasks == 0 || rep.TaskCostStats.N != rep.NTasks {
+		t.Fatalf("report stats inconsistent: %+v", rep)
+	}
+}
+
+func BenchmarkBuildKWater4(b *testing.B) {
+	eng, scr := setup(b, chem.WaterCluster(4, 1), 1e-8)
+	p := testDensity(eng.Basis.NBasis, 1)
+	opts := DefaultOptions()
+	builder := NewBuilder(eng, scr, opts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder.BuildJK(p)
+	}
+}
+
+func TestDynamicExecutionMatchesStatic(t *testing.T) {
+	eng, scr := setup(t, chem.WaterCluster(3, 17), 1e-12)
+	p := testDensity(eng.Basis.NBasis, 9)
+	static := DefaultOptions()
+	static.Threads = 4
+	static.Vector = false
+	js, ks, _ := NewBuilder(eng, scr, static).BuildJK(p)
+
+	engD := integrals.NewEngine(eng.Basis)
+	dyn := DefaultOptions()
+	dyn.Threads = 4
+	dyn.Vector = false
+	dyn.Dynamic = true
+	jd, kd, rep := NewBuilder(engD, scr, dyn).BuildJK(p)
+
+	if d := linalg.MaxAbsDiff(js, jd); d > 1e-10 {
+		t.Fatalf("dynamic J differs by %g", d)
+	}
+	if d := linalg.MaxAbsDiff(ks, kd); d > 1e-10 {
+		t.Fatalf("dynamic K differs by %g", d)
+	}
+	if rep.QuartetsComputed == 0 {
+		t.Fatal("dynamic run computed nothing")
+	}
+}

@@ -1,0 +1,53 @@
+package hfx
+
+import (
+	"hfxmd/internal/integrals"
+	"hfxmd/internal/linalg"
+)
+
+// ReferenceJK computes J and K by brute force over all ordered shell
+// quartets with no screening and no permutational folding. It is O(N⁴)
+// in shells and exists purely as the correctness oracle for the
+// task-parallel builder: the screened build must match it to within a
+// bound derived from the screening threshold.
+func ReferenceJK(eng *integrals.Engine, p *linalg.Matrix) (j, k *linalg.Matrix) {
+	set := eng.Basis
+	n := set.NBasis
+	j = linalg.NewSquare(n)
+	k = linalg.NewSquare(n)
+	ns := set.NShells()
+	buf := make([]float64, eng.MaxERIBufLen())
+	for a := 0; a < ns; a++ {
+		sa := &set.Shells[a]
+		for b := 0; b < ns; b++ {
+			sb := &set.Shells[b]
+			for c := 0; c < ns; c++ {
+				sc := &set.Shells[c]
+				for d := 0; d < ns; d++ {
+					sd := &set.Shells[d]
+					na, nb, nc, nd := sa.NFuncs(), sb.NFuncs(), sc.NFuncs(), sd.NFuncs()
+					blk := buf[:na*nb*nc*nd]
+					eng.ERIShell(a, b, c, d, blk, nil)
+					for fa := 0; fa < na; fa++ {
+						pa := sa.Index + fa
+						for fb := 0; fb < nb; fb++ {
+							pb := sb.Index + fb
+							for fc := 0; fc < nc; fc++ {
+								pc := sc.Index + fc
+								base := ((fa*nb+fb)*nc + fc) * nd
+								for fd := 0; fd < nd; fd++ {
+									pd := sd.Index + fd
+									v := blk[base+fd]
+									// J[ab] += P[cd] (ab|cd); K[ac] += P[bd] (ab|cd).
+									j.Add(pa, pb, p.At(pc, pd)*v)
+									k.Add(pa, pc, p.At(pb, pd)*v)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return j, k
+}

@@ -1,0 +1,368 @@
+package integrals
+
+import (
+	"math"
+	"sync"
+
+	"hfxmd/internal/basis"
+	"hfxmd/internal/boys"
+	"hfxmd/internal/linalg"
+	"hfxmd/internal/qpx"
+)
+
+// pairData caches the bra- or ket-side primitive-pair quantities of a
+// shell pair: combined exponent p, Gaussian-product centre P, and the
+// Hermite E tables per dimension.
+type pairData struct {
+	p    float64
+	coef float64
+	px   [3]float64
+	ets  [3]*eTable
+	// e000 caches E_0^{00,x}·E_0^{00,y}·E_0^{00,z}, the only Hermite
+	// coefficient an (ss| pair needs — the ssss fast path below.
+	e000 float64
+}
+
+// pairDataFor returns the (cached) primitive-pair data of a shell pair.
+// The cache persists across quartets and SCF iterations — rebuilding the
+// Hermite E tables per quartet would dominate the contraction cost.
+func (e *Engine) pairDataFor(a, b int) []pairData {
+	ns := e.Basis.NShells()
+	idx := a*ns + b
+	e.pairMu.RLock()
+	if e.pairCache != nil && e.pairCache[idx] != nil {
+		pd := e.pairCache[idx]
+		e.pairMu.RUnlock()
+		return pd
+	}
+	e.pairMu.RUnlock()
+	pd := buildPairData(&e.Basis.Shells[a], &e.Basis.Shells[b])
+	e.pairMu.Lock()
+	if e.pairCache == nil {
+		e.pairCache = make([][]pairData, ns*ns)
+	}
+	e.pairCache[idx] = pd
+	e.pairMu.Unlock()
+	return pd
+}
+
+// buildPairData enumerates the primitive pairs of two shells.
+func buildPairData(sa, sb *basis.Shell) []pairData {
+	ab := [3]float64{
+		sa.Center[0] - sb.Center[0],
+		sa.Center[1] - sb.Center[1],
+		sa.Center[2] - sb.Center[2],
+	}
+	pairs := make([]pairData, 0, len(sa.Exps)*len(sb.Exps))
+	for ia, ea := range sa.Exps {
+		for ib, eb := range sb.Exps {
+			p := ea + eb
+			pd := pairData{
+				p:    p,
+				coef: sa.Coefs[ia] * sb.Coefs[ib],
+				px: [3]float64{
+					(ea*sa.Center[0] + eb*sb.Center[0]) / p,
+					(ea*sa.Center[1] + eb*sb.Center[1]) / p,
+					(ea*sa.Center[2] + eb*sb.Center[2]) / p,
+				},
+			}
+			for d := 0; d < 3; d++ {
+				pd.ets[d] = buildETable(sa.L, sb.L, ab[d], ea, eb)
+			}
+			pd.e000 = pd.ets[0].at(0, 0, 0) * pd.ets[1].at(0, 0, 0) * pd.ets[2].at(0, 0, 0)
+			pairs = append(pairs, pd)
+		}
+	}
+	return pairs
+}
+
+// eriScratch is the per-call working set of the ERI kernel, pooled to
+// keep the hot loop allocation-free.
+type eriScratch struct {
+	fn       []float64
+	fnBatch  []qpx.Vec4
+	rsc      rScratch
+	braList  []hermTerm
+	ketLists [][]hermTerm
+}
+
+var eriPool = sync.Pool{New: func() any {
+	return &eriScratch{
+		fn:      make([]float64, boys.MaxOrder+1),
+		fnBatch: make([]qpx.Vec4, boys.MaxOrder+1),
+	}
+}}
+
+// ERIShell computes the full quartet block (ab|cd) for four shells and
+// writes it into out in row-major order [na][nb][nc][nd]. out must have
+// length na·nb·nc·nd. The optional stats record QPX lane utilisation when
+// the engine's Vector mode is on.
+func (e *Engine) ERIShell(a, b, c, d int, out []float64, stats *qpx.Stats) {
+	sa := &e.Basis.Shells[a]
+	sb := &e.Basis.Shells[b]
+	sc := &e.Basis.Shells[c]
+	sd := &e.Basis.Shells[d]
+	bra := e.pairDataFor(a, b)
+	ket := e.pairDataFor(c, d)
+	scratch := eriPool.Get().(*eriScratch)
+	eriQuartet(sa, sb, sc, sd, bra, ket, out, e.Vector, stats, scratch)
+	eriPool.Put(scratch)
+}
+
+// eriQuartet is the contraction kernel shared by the engine and the
+// Schwarz bound computation.
+func eriQuartet(sa, sb, sc, sd *basis.Shell, bra, ket []pairData,
+	out []float64, vector bool, stats *qpx.Stats, scratch *eriScratch) {
+	na, nb, nc, nd := sa.NFuncs(), sb.NFuncs(), sc.NFuncs(), sd.NFuncs()
+	for i := range out[:na*nb*nc*nd] {
+		out[i] = 0
+	}
+	ltot := sa.L + sb.L + sc.L + sd.L
+
+	if vector {
+		eriQuartetVector(sa, sb, sc, sd, bra, ket, out, stats, scratch)
+		return
+	}
+
+	fn := scratch.fn[:ltot+1]
+	if ltot == 0 {
+		// ssss fast path: the Hermite contraction collapses to
+		// pref·E000_bra·E000_ket·F_0(T). This class dominates screened
+		// pair lists, so it is worth the special case.
+		var acc float64
+		for i := range bra {
+			bp := &bra[i]
+			for j := range ket {
+				kp := &ket[j]
+				alpha := bp.p * kp.p / (bp.p + kp.p)
+				dx := bp.px[0] - kp.px[0]
+				dy := bp.px[1] - kp.px[1]
+				dz := bp.px[2] - kp.px[2]
+				boys.Eval(0, alpha*(dx*dx+dy*dy+dz*dz), fn)
+				pref := twoPi52 / (bp.p * kp.p * math.Sqrt(bp.p+kp.p)) * bp.coef * kp.coef
+				acc += pref * bp.e000 * kp.e000 * fn[0]
+			}
+		}
+		out[0] = acc
+		return
+	}
+	ca, cb := Components(sa.L), Components(sb.L)
+	cc, cd := Components(sc.L), Components(sd.L)
+	for i := range bra {
+		bp := &bra[i]
+		for j := range ket {
+			kp := &ket[j]
+			alpha := bp.p * kp.p / (bp.p + kp.p)
+			pq := [3]float64{
+				bp.px[0] - kp.px[0],
+				bp.px[1] - kp.px[1],
+				bp.px[2] - kp.px[2],
+			}
+			r2 := pq[0]*pq[0] + pq[1]*pq[1] + pq[2]*pq[2]
+			boys.Eval(ltot, alpha*r2, fn)
+			rt := buildRTensor(ltot, pq, alpha, fn, &scratch.rsc)
+			pref := twoPi52 / (bp.p * kp.p * math.Sqrt(bp.p+kp.p)) * bp.coef * kp.coef
+			accumulateQuartet(ca, cb, cc, cd, *bp, *kp, rt, pref, nb, nc, nd, out, scratch)
+		}
+	}
+}
+
+// hermTerm is one nonzero Hermite expansion coefficient E_t E_u E_v of a
+// Cartesian component pair, with the component norms (and, on the ket
+// side, the (−1)^{t+u+v} phase) folded into val.
+type hermTerm struct {
+	t, u, v int32
+	val     float64
+}
+
+// hermList collects the nonzero Hermite terms of component pair (cA, cB)
+// of a primitive pair into dst, scaling by scale and applying the ket
+// phase when phase is true.
+func hermList(dst []hermTerm, pd *pairData, cA, cB CartComponent, scale float64, phase bool) []hermTerm {
+	dst = dst[:0]
+	for t := 0; t <= cA.X+cB.X; t++ {
+		ex := pd.ets[0].at(cA.X, cB.X, t)
+		if ex == 0 {
+			continue
+		}
+		for u := 0; u <= cA.Y+cB.Y; u++ {
+			ey := pd.ets[1].at(cA.Y, cB.Y, u)
+			if ey == 0 {
+				continue
+			}
+			for v := 0; v <= cA.Z+cB.Z; v++ {
+				ez := pd.ets[2].at(cA.Z, cB.Z, v)
+				if ez == 0 {
+					continue
+				}
+				val := scale * ex * ey * ez
+				if phase && (t+u+v)&1 == 1 {
+					val = -val
+				}
+				dst = append(dst, hermTerm{int32(t), int32(u), int32(v), val})
+			}
+		}
+	}
+	return dst
+}
+
+// accumulateQuartet folds one primitive bra×ket combination into the
+// contracted quartet block. The Hermite expansions of the ket component
+// pairs are materialised once and reused across every bra component pair,
+// which removes the dominant redundant eTable traffic.
+func accumulateQuartet(ca, cb, cc, cd []CartComponent, bp, kp pairData,
+	rt *rTensor, pref float64, nb, nc, nd int, out []float64, scratch *eriScratch) {
+	nKet := len(cc) * len(cd)
+	for len(scratch.ketLists) < nKet {
+		scratch.ketLists = append(scratch.ketLists, nil)
+	}
+	normC := cartNorms[cc[0].X+cc[0].Y+cc[0].Z]
+	normD := cartNorms[cd[0].X+cd[0].Y+cd[0].Z]
+	for ci, compC := range cc {
+		for di, compD := range cd {
+			scratch.ketLists[ci*nd+di] = hermList(
+				scratch.ketLists[ci*nd+di], &kp, compC, compD,
+				normC[ci]*normD[di], true)
+		}
+	}
+	normA := cartNorms[ca[0].X+ca[0].Y+ca[0].Z]
+	normB := cartNorms[cb[0].X+cb[0].Y+cb[0].Z]
+	n := int32(rt.ltot + 1)
+	data := rt.data
+	for ai, compA := range ca {
+		for bi, compB := range cb {
+			scratch.braList = hermList(scratch.braList, &bp, compA, compB,
+				pref*normA[ai]*normB[bi], false)
+			rowBase := (ai*nb + bi) * nc
+			for ci := 0; ci < nc; ci++ {
+				outBase := (rowBase + ci) * nd
+				for di := 0; di < nd; di++ {
+					var v float64
+					for _, b := range scratch.braList {
+						for _, k := range scratch.ketLists[ci*nd+di] {
+							v += b.val * k.val * data[((b.t+k.t)*n+(b.u+k.u))*n+(b.v+k.v)]
+						}
+					}
+					out[outBase+di] += v
+				}
+			}
+		}
+	}
+}
+
+// eriQuartetVector is the QPX-structured kernel: primitive bra×ket
+// combinations are gathered four at a time, their Boys arguments evaluated
+// lane-parallel, and the Hermite assembly then proceeds per quartet. The
+// final partial batch records reduced lane utilisation, reproducing the
+// paper's vector-efficiency accounting.
+func eriQuartetVector(sa, sb, sc, sd *basis.Shell, bra, ket []pairData,
+	out []float64, stats *qpx.Stats, scratch *eriScratch) {
+	nb, nc, nd := sb.NFuncs(), sc.NFuncs(), sd.NFuncs()
+	ltot := sa.L + sb.L + sc.L + sd.L
+	ca, cb := Components(sa.L), Components(sb.L)
+	cc, cd := Components(sc.L), Components(sd.L)
+
+	type primJob struct {
+		bp, kp *pairData
+		alpha  float64
+		pq     [3]float64
+		pref   float64
+	}
+	jobs := make([]primJob, 0, len(bra)*len(ket))
+	for i := range bra {
+		for j := range ket {
+			bp, kp := &bra[i], &ket[j]
+			alpha := bp.p * kp.p / (bp.p + kp.p)
+			pq := [3]float64{
+				bp.px[0] - kp.px[0],
+				bp.px[1] - kp.px[1],
+				bp.px[2] - kp.px[2],
+			}
+			jobs = append(jobs, primJob{
+				bp: bp, kp: kp, alpha: alpha, pq: pq,
+				pref: twoPi52 / (bp.p * kp.p * math.Sqrt(bp.p+kp.p)) * bp.coef * kp.coef,
+			})
+		}
+	}
+
+	fnBatch := scratch.fnBatch[:ltot+1]
+	fn := scratch.fn[:ltot+1]
+	for base := 0; base < len(jobs); base += qpx.Width {
+		end := base + qpx.Width
+		if end > len(jobs) {
+			end = len(jobs)
+		}
+		active := end - base
+		var tvec qpx.Vec4
+		for lane := 0; lane < active; lane++ {
+			j := &jobs[base+lane]
+			r2 := j.pq[0]*j.pq[0] + j.pq[1]*j.pq[1] + j.pq[2]*j.pq[2]
+			tvec[lane] = j.alpha * r2
+		}
+		qpx.BoysBatch(ltot, tvec, fnBatch)
+		if stats != nil {
+			stats.Record(active)
+		}
+		for lane := 0; lane < active; lane++ {
+			j := &jobs[base+lane]
+			for k := 0; k <= ltot; k++ {
+				fn[k] = fnBatch[k][lane]
+			}
+			rt := buildRTensor(ltot, j.pq, j.alpha, fn, &scratch.rsc)
+			accumulateQuartet(ca, cb, cc, cd, *j.bp, *j.kp, rt, j.pref, nb, nc, nd, out, scratch)
+		}
+	}
+}
+
+// SchwarzMatrix returns the shell-pair Cauchy–Schwarz norms
+//
+//	Q[ab] = √( max_{μ∈a,ν∈b} (μν|μν) ),
+//
+// the rigorous upper-bound factors |(μν|λσ)| ≤ Q[ab]·Q[cd] that drive the
+// paper's controllable-accuracy screening.
+func (e *Engine) SchwarzMatrix() *linalg.Matrix {
+	ns := e.Basis.NShells()
+	q := linalg.NewSquare(ns)
+	var buf []float64
+	scratch := eriPool.Get().(*eriScratch)
+	defer eriPool.Put(scratch)
+	for a := 0; a < ns; a++ {
+		sa := &e.Basis.Shells[a]
+		for b := a; b < ns; b++ {
+			sb := &e.Basis.Shells[b]
+			na, nb := sa.NFuncs(), sb.NFuncs()
+			need := na * nb * na * nb
+			if cap(buf) < need {
+				buf = make([]float64, need)
+			}
+			blk := buf[:need]
+			pd := e.pairDataFor(a, b)
+			eriQuartet(sa, sb, sa, sb, pd, pd, blk, false, nil, scratch)
+			var m float64
+			for i := 0; i < na; i++ {
+				for j := 0; j < nb; j++ {
+					v := blk[((i*nb+j)*na+i)*nb+j] // (ij|ij)
+					if v > m {
+						m = v
+					}
+				}
+			}
+			val := math.Sqrt(math.Max(m, 0))
+			q.Set(a, b, val)
+			q.Set(b, a, val)
+		}
+	}
+	return q
+}
+
+// MaxERIBufLen returns the maximum quartet block length over the basis,
+// for sizing scratch buffers.
+func (e *Engine) MaxERIBufLen() int {
+	maxn := 0
+	for i := range e.Basis.Shells {
+		if n := e.Basis.Shells[i].NFuncs(); n > maxn {
+			maxn = n
+		}
+	}
+	return maxn * maxn * maxn * maxn
+}

@@ -1,0 +1,160 @@
+package integrals
+
+import "math"
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+// eTable holds the Hermite expansion coefficients E_t^{ij} for one
+// Cartesian dimension of a primitive pair: the product of Gaussians with
+// exponents a (angular power up to imax) and b (up to jmax) expands as
+//
+//	x_A^i x_B^j e^{-a x_A²} e^{-b x_B²} = Σ_t E_t^{ij} Λ_t(x_P; p)
+//
+// with p = a+b and Λ_t Hermite Gaussians. Storage is a flat slice indexed
+// by (i, j, t) with t ≤ i+j.
+type eTable struct {
+	imax, jmax int
+	data       []float64
+}
+
+func (e *eTable) at(i, j, t int) float64 {
+	if t < 0 || t > i+j {
+		return 0
+	}
+	return e.data[(i*(e.jmax+1)+j)*(e.imax+e.jmax+1)+t]
+}
+
+func (e *eTable) set(i, j, t int, v float64) {
+	e.data[(i*(e.jmax+1)+j)*(e.imax+e.jmax+1)+t] = v
+}
+
+// buildETable computes the E coefficients for one dimension. ab is the
+// separation A_x − B_x, a and b the primitive exponents.
+//
+// Recurrences (McMurchie–Davidson):
+//
+//	E_t^{i+1,j} = E_{t-1}^{ij}/(2p) + X_PA·E_t^{ij} + (t+1)·E_{t+1}^{ij}
+//	E_t^{i,j+1} = E_{t-1}^{ij}/(2p) + X_PB·E_t^{ij} + (t+1)·E_{t+1}^{ij}
+//	E_0^{00}    = exp(−μ·X_AB²),  μ = ab/(a+b)
+func buildETable(imax, jmax int, ab, a, b float64) *eTable {
+	e := &eTable{
+		imax: imax,
+		jmax: jmax,
+		data: make([]float64, (imax+1)*(jmax+1)*(imax+jmax+1)),
+	}
+	p := a + b
+	mu := a * b / p
+	xpa := -b * ab / p // P_x − A_x with X_AB = A_x − B_x
+	xpb := a * ab / p  // P_x − B_x
+	e.set(0, 0, 0, math.Exp(-mu*ab*ab))
+	// Build up in i first (j=0), then extend in j for each i.
+	for i := 0; i < imax; i++ {
+		for t := 0; t <= i+1; t++ {
+			v := xpa*e.at(i, 0, t) + float64(t+1)*e.at(i, 0, t+1)
+			if t > 0 {
+				v += e.at(i, 0, t-1) / (2 * p)
+			}
+			e.set(i+1, 0, t, v)
+		}
+	}
+	for i := 0; i <= imax; i++ {
+		for j := 0; j < jmax; j++ {
+			for t := 0; t <= i+j+1; t++ {
+				v := xpb*e.at(i, j, t) + float64(t+1)*e.at(i, j, t+1)
+				if t > 0 {
+					v += e.at(i, j, t-1) / (2 * p)
+				}
+				e.set(i, j+1, t, v)
+			}
+		}
+	}
+	return e
+}
+
+// rTensor computes the Hermite Coulomb auxiliary integrals
+//
+//	R^0_{tuv}(p, PC) with t+u+v ≤ ltot
+//
+// given the Boys values fn[n] = F_n(p·|PC|²). The result is stored flat
+// with stride (ltot+1) per dimension; entries with t+u+v > ltot are
+// garbage and never read.
+//
+// Recurrences:
+//
+//	R^n_{000}      = (−2p)^n F_n(T)
+//	R^n_{t+1,u,v}  = t·R^{n+1}_{t−1,u,v} + X_PC·R^{n+1}_{tuv}   (etc.)
+type rTensor struct {
+	ltot int
+	data []float64
+}
+
+func (r *rTensor) at(t, u, v int) float64 {
+	n := r.ltot + 1
+	return r.data[(t*n+u)*n+v]
+}
+
+// rScratch provides two reusable ping-pong buffers for buildRTensor; it
+// removes the dominant allocation of the primitive-quartet loop. The
+// recurrence for auxiliary order m only reads order m+1, so two buffers
+// of alternating parity suffice.
+type rScratch struct {
+	bufs [2][]float64
+	rt   rTensor
+}
+
+func (s *rScratch) buf(parity, size int) []float64 {
+	if cap(s.bufs[parity]) < size {
+		s.bufs[parity] = make([]float64, size)
+	}
+	return s.bufs[parity][:size]
+}
+
+// buildRTensor computes the order-0 Hermite Coulomb tensor. The returned
+// tensor aliases the scratch buffers: it is valid only until the next
+// buildRTensor call with the same scratch. Entries with t+u+v > ltot are
+// never written and must not be read. A nil scratch allocates fresh
+// buffers (used by the cold one-electron path).
+func buildRTensor(ltot int, pc [3]float64, p float64, fn []float64, sc *rScratch) *rTensor {
+	if sc == nil {
+		sc = new(rScratch)
+	}
+	n := ltot + 1
+	size := n * n * n
+	idx := func(t, u, v int) int { return (t*n+u)*n + v }
+
+	var cur []float64
+	for m := ltot; m >= 0; m-- {
+		up := cur
+		cur = sc.buf(m&1, size)
+		cur[idx(0, 0, 0)] = math.Pow(-2*p, float64(m)) * fn[m]
+		for l := 1; l <= ltot-m; l++ {
+			for t := l; t >= 0; t-- {
+				for u := l - t; u >= 0; u-- {
+					v := l - t - u
+					var val float64
+					switch {
+					case t > 0:
+						val = pc[0] * up[idx(t-1, u, v)]
+						if t > 1 {
+							val += float64(t-1) * up[idx(t-2, u, v)]
+						}
+					case u > 0:
+						val = pc[1] * up[idx(t, u-1, v)]
+						if u > 1 {
+							val += float64(u-1) * up[idx(t, u-2, v)]
+						}
+					default:
+						val = pc[2] * up[idx(t, u, v-1)]
+						if v > 1 {
+							val += float64(v-1) * up[idx(t, u, v-2)]
+						}
+					}
+					cur[idx(t, u, v)] = val
+				}
+			}
+		}
+	}
+	sc.rt.ltot = ltot
+	sc.rt.data = cur
+	return &sc.rt
+}

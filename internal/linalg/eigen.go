@@ -1,0 +1,344 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// EigenSym computes all eigenvalues and eigenvectors of the symmetric
+// matrix a. It returns the eigenvalues in ascending order and a matrix
+// whose COLUMNS are the corresponding orthonormal eigenvectors.
+//
+// The implementation is the classic two-stage dense path: Householder
+// reduction to tridiagonal form followed by the implicit-shift QL
+// iteration (tql2), the same algorithm used by EISPACK and Numerical
+// Recipes. It is O(N^3) and robust for the matrix sizes used here.
+func EigenSym(a *Matrix) (vals []float64, vecs *Matrix) {
+	if a.Rows != a.Cols {
+		panic("linalg: EigenSym of non-square matrix")
+	}
+	n := a.Rows
+	z := a.Clone() // will hold the accumulated transformations
+	d := make([]float64, n)
+	e := make([]float64, n)
+	tred2(z, d, e)
+	if err := tql2(z, d, e); err != nil {
+		panic(err)
+	}
+	sortEigen(d, z)
+	return d, z
+}
+
+// tred2 reduces the symmetric matrix stored in z to tridiagonal form via
+// Householder similarity transforms, accumulating the orthogonal matrix in
+// z. On output d holds the diagonal, e the sub-diagonal (e[0] unused).
+func tred2(z *Matrix, d, e []float64) {
+	n := z.Rows
+	for i := 0; i < n; i++ {
+		d[i] = z.At(n-1, i)
+	}
+	for i := n - 1; i > 0; i-- {
+		// Scale to avoid under/overflow.
+		var scale, h float64
+		for k := 0; k < i; k++ {
+			scale += math.Abs(d[k])
+		}
+		if scale == 0 {
+			e[i] = d[i-1]
+			for j := 0; j < i; j++ {
+				d[j] = z.At(i-1, j)
+				z.Set(i, j, 0)
+				z.Set(j, i, 0)
+			}
+		} else {
+			for k := 0; k < i; k++ {
+				d[k] /= scale
+				h += d[k] * d[k]
+			}
+			f := d[i-1]
+			g := math.Sqrt(h)
+			if f > 0 {
+				g = -g
+			}
+			e[i] = scale * g
+			h -= f * g
+			d[i-1] = f - g
+			for j := 0; j < i; j++ {
+				e[j] = 0
+			}
+			// Apply similarity transformation to remaining columns.
+			for j := 0; j < i; j++ {
+				f = d[j]
+				z.Set(j, i, f)
+				g = e[j] + z.At(j, j)*f
+				for k := j + 1; k <= i-1; k++ {
+					g += z.At(k, j) * d[k]
+					e[k] += z.At(k, j) * f
+				}
+				e[j] = g
+			}
+			f = 0
+			for j := 0; j < i; j++ {
+				e[j] /= h
+				f += e[j] * d[j]
+			}
+			hh := f / (h + h)
+			for j := 0; j < i; j++ {
+				e[j] -= hh * d[j]
+			}
+			for j := 0; j < i; j++ {
+				f = d[j]
+				g = e[j]
+				for k := j; k <= i-1; k++ {
+					z.Set(k, j, z.At(k, j)-(f*e[k]+g*d[k]))
+				}
+				d[j] = z.At(i-1, j)
+				z.Set(i, j, 0)
+			}
+		}
+		d[i] = h
+	}
+	// Accumulate transformations.
+	for i := 0; i < n-1; i++ {
+		z.Set(n-1, i, z.At(i, i))
+		z.Set(i, i, 1)
+		h := d[i+1]
+		if h != 0 {
+			for k := 0; k <= i; k++ {
+				d[k] = z.At(k, i+1) / h
+			}
+			for j := 0; j <= i; j++ {
+				var g float64
+				for k := 0; k <= i; k++ {
+					g += z.At(k, i+1) * z.At(k, j)
+				}
+				for k := 0; k <= i; k++ {
+					z.Set(k, j, z.At(k, j)-g*d[k])
+				}
+			}
+		}
+		for k := 0; k <= i; k++ {
+			z.Set(k, i+1, 0)
+		}
+	}
+	for j := 0; j < n; j++ {
+		d[j] = z.At(n-1, j)
+		z.Set(n-1, j, 0)
+	}
+	z.Set(n-1, n-1, 1)
+	e[0] = 0
+}
+
+// tql2 is the implicit-shift QL iteration for a symmetric tridiagonal
+// matrix (diagonal d, sub-diagonal e), accumulating eigenvectors into z.
+func tql2(z *Matrix, d, e []float64) error {
+	n := z.Rows
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+
+	var f, tst1 float64
+	eps := math.Nextafter(1, 2) - 1 // machine epsilon
+	for l := 0; l < n; l++ {
+		tst1 = math.Max(tst1, math.Abs(d[l])+math.Abs(e[l]))
+		m := l
+		for m < n {
+			if math.Abs(e[m]) <= eps*tst1 {
+				break
+			}
+			m++
+		}
+		if m > l {
+			for iter := 0; ; iter++ {
+				if iter >= 50 {
+					return fmt.Errorf("linalg: tql2 failed to converge at eigenvalue %d", l)
+				}
+				// Compute implicit shift.
+				g := d[l]
+				p := (d[l+1] - g) / (2 * e[l])
+				r := math.Hypot(p, 1)
+				if p < 0 {
+					r = -r
+				}
+				d[l] = e[l] / (p + r)
+				d[l+1] = e[l] * (p + r)
+				dl1 := d[l+1]
+				h := g - d[l]
+				for i := l + 2; i < n; i++ {
+					d[i] -= h
+				}
+				f += h
+				// Implicit QL transformation.
+				p = d[m]
+				c := 1.0
+				c2, c3 := c, c
+				el1 := e[l+1]
+				var s, s2 float64
+				for i := m - 1; i >= l; i-- {
+					c3 = c2
+					c2 = c
+					s2 = s
+					g = c * e[i]
+					h = c * p
+					r = math.Hypot(p, e[i])
+					e[i+1] = s * r
+					s = e[i] / r
+					c = p / r
+					p = c*d[i] - s*g
+					d[i+1] = h + s*(c*g+s*d[i])
+					// Accumulate transformation.
+					for k := 0; k < n; k++ {
+						h = z.At(k, i+1)
+						z.Set(k, i+1, s*z.At(k, i)+c*h)
+						z.Set(k, i, c*z.At(k, i)-s*h)
+					}
+				}
+				p = -s * s2 * c3 * el1 * e[l] / dl1
+				e[l] = s * p
+				d[l] = c * p
+				if math.Abs(e[l]) <= eps*tst1 {
+					break
+				}
+			}
+		}
+		d[l] += f
+		e[l] = 0
+	}
+	return nil
+}
+
+// sortEigen sorts eigenvalues ascending, permuting eigenvector columns.
+func sortEigen(d []float64, z *Matrix) {
+	n := len(d)
+	for i := 0; i < n-1; i++ {
+		k := i
+		p := d[i]
+		for j := i + 1; j < n; j++ {
+			if d[j] < p {
+				k = j
+				p = d[j]
+			}
+		}
+		if k != i {
+			d[k] = d[i]
+			d[i] = p
+			for r := 0; r < n; r++ {
+				tmp := z.At(r, i)
+				z.Set(r, i, z.At(r, k))
+				z.Set(r, k, tmp)
+			}
+		}
+	}
+}
+
+// Cholesky computes the lower-triangular L with a = L·Lᵀ for a symmetric
+// positive-definite matrix. It returns an error if a is not (numerically)
+// positive definite.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky of non-square matrix")
+	}
+	n := a.Rows
+	l := NewSquare(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, fmt.Errorf("linalg: matrix not positive definite at pivot %d (s=%g)", i, s)
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// LowdinOrthogonalizer returns X = S^{-1/2} via the spectral decomposition
+// of the (symmetric positive definite) overlap matrix S. Eigenvalues below
+// lindep are discarded (canonical orthogonalisation), in which case X is
+// rectangular N×M with M ≤ N.
+func LowdinOrthogonalizer(s *Matrix, lindep float64) *Matrix {
+	vals, vecs := EigenSym(s)
+	n := s.Rows
+	keep := make([]int, 0, n)
+	for i, v := range vals {
+		if v > lindep {
+			keep = append(keep, i)
+		}
+	}
+	x := NewMatrix(n, len(keep))
+	for j, col := range keep {
+		inv := 1.0 / math.Sqrt(vals[col])
+		for i := 0; i < n; i++ {
+			x.Set(i, j, vecs.At(i, col)*inv)
+		}
+	}
+	return x
+}
+
+// SolveLinear solves a·x = b for x by Gaussian elimination with partial
+// pivoting. a and b are not modified. b may have multiple columns.
+func SolveLinear(a, b *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: SolveLinear needs square a")
+	}
+	if a.Rows != b.Rows {
+		return nil, fmt.Errorf("linalg: SolveLinear dimension mismatch")
+	}
+	n := a.Rows
+	m := b.Cols
+	aug := NewMatrix(n, n+m)
+	for i := 0; i < n; i++ {
+		copy(aug.Row(i)[:n], a.Row(i))
+		copy(aug.Row(i)[n:], b.Row(i))
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		best := math.Abs(aug.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(aug.At(r, col)); v > best {
+				best = v
+				piv = r
+			}
+		}
+		if best < 1e-14 {
+			return nil, fmt.Errorf("linalg: singular matrix in SolveLinear at column %d", col)
+		}
+		if piv != col {
+			rp, rc := aug.Row(piv), aug.Row(col)
+			for k := range rp {
+				rp[k], rc[k] = rc[k], rp[k]
+			}
+		}
+		inv := 1.0 / aug.At(col, col)
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := aug.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			rr, rc := aug.Row(r), aug.Row(col)
+			for k := col; k < n+m; k++ {
+				rr[k] -= f * rc[k]
+			}
+		}
+	}
+	x := NewMatrix(n, m)
+	for i := 0; i < n; i++ {
+		inv := 1.0 / aug.At(i, i)
+		for j := 0; j < m; j++ {
+			x.Set(i, j, aug.At(i, n+j)*inv)
+		}
+	}
+	return x, nil
+}

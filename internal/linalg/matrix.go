@@ -1,0 +1,260 @@
+// Package linalg provides the dense linear algebra needed by the SCF and
+// HFX machinery: a simple row-major matrix type, symmetric eigensolvers
+// (Householder tridiagonalisation followed by implicit-shift QL), Cholesky
+// factorisation, and the Löwdin symmetric orthogonalisation used to build
+// the SCF transformation matrix.
+//
+// The package is deliberately self-contained (stdlib only) and tuned for
+// the modest matrix sizes (N ≲ a few thousand basis functions) that appear
+// in the cluster models driven by this repository. Hot loops are written
+// cache-friendly (row-major, ikj products).
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed r×c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("linalg: invalid dimensions %dx%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// NewSquare allocates a zeroed n×n matrix.
+func NewSquare(n int) *Matrix { return NewMatrix(n, n) }
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewSquare(n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// FromRows builds a matrix from row slices; all rows must share a length.
+func FromRows(rows [][]float64) *Matrix {
+	r := len(rows)
+	if r == 0 {
+		return NewMatrix(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMatrix(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// At returns element (i,j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i,j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add increments element (i,j) by v.
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Row returns a view of row i (shared storage).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// CopyFrom overwrites m with src (dimensions must match).
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic("linalg: CopyFrom dimension mismatch")
+	}
+	copy(m.Data, src.Data)
+}
+
+// Zero clears all elements.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Scale multiplies every element by s in place and returns m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// AXPY performs m += a*x elementwise and returns m.
+func (m *Matrix) AXPY(a float64, x *Matrix) *Matrix {
+	if m.Rows != x.Rows || m.Cols != x.Cols {
+		panic("linalg: AXPY dimension mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] += a * x.Data[i]
+	}
+	return m
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		ri := m.Row(i)
+		for j, v := range ri {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// Mul returns a*b as a new matrix using a cache-friendly ikj loop order.
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for k, aik := range arow {
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bkj := range brow {
+				crow[j] += aik * bkj
+			}
+		}
+	}
+	return c
+}
+
+// MulABt returns a·bᵀ without materialising the transpose.
+func MulABt(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic("linalg: MulABt dimension mismatch")
+	}
+	c := NewMatrix(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			crow[j] = s
+		}
+	}
+	return c
+}
+
+// Trace returns the trace of a square matrix.
+func (m *Matrix) Trace() float64 {
+	if m.Rows != m.Cols {
+		panic("linalg: Trace of non-square matrix")
+	}
+	var t float64
+	for i := 0; i < m.Rows; i++ {
+		t += m.At(i, i)
+	}
+	return t
+}
+
+// TraceMul returns tr(a·b) without forming the product; a and b must be
+// square with matching dimensions. For symmetric b this equals Σ a∘bᵀ.
+func TraceMul(a, b *Matrix) float64 {
+	if a.Cols != b.Rows || a.Rows != b.Cols {
+		panic("linalg: TraceMul dimension mismatch")
+	}
+	var t float64
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		for k, av := range arow {
+			t += av * b.At(k, i)
+		}
+	}
+	return t
+}
+
+// MaxAbsDiff returns max |a-b| over all elements.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("linalg: MaxAbsDiff dimension mismatch")
+	}
+	var m float64
+	for i, v := range a.Data {
+		d := math.Abs(v - b.Data[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Symmetrize overwrites m with (m + mᵀ)/2.
+func (m *Matrix) Symmetrize() {
+	if m.Rows != m.Cols {
+		panic("linalg: Symmetrize of non-square matrix")
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			v := 0.5 * (m.At(i, j) + m.At(j, i))
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+}
+
+// IsSymmetric reports whether max |m - mᵀ| ≤ tol.
+func (m *Matrix) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	s := ""
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			s += fmt.Sprintf("%12.6f ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}

@@ -1,0 +1,290 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMulIdentity(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}})
+	p := Mul(a, Identity(3))
+	if MaxAbsDiff(a, p) > 1e-15 {
+		t.Fatalf("A·I != A, diff %g", MaxAbsDiff(a, p))
+	}
+	p = Mul(Identity(3), a)
+	if MaxAbsDiff(a, p) > 1e-15 {
+		t.Fatalf("I·A != A")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := Mul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if MaxAbsDiff(c, want) > 1e-14 {
+		t.Fatalf("got %v want %v", c, want)
+	}
+}
+
+func TestMulABt(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMatrix(4, 6)
+	b := NewMatrix(5, 6)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	got := MulABt(a, b)
+	want := Mul(a, b.T())
+	if MaxAbsDiff(got, want) > 1e-13 {
+		t.Fatalf("MulABt mismatch %g", MaxAbsDiff(got, want))
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(8)
+		c := 1 + rng.Intn(8)
+		m := NewMatrix(r, c)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		return MaxAbsDiff(m, m.T().T()) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := NewSquare(5)
+	b := NewSquare(5)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+		b.Data[i] = rng.NormFloat64()
+	}
+	want := Mul(a, b).Trace()
+	got := TraceMul(a, b)
+	if !almostEqual(got, want, 1e-12) {
+		t.Fatalf("TraceMul got %g want %g", got, want)
+	}
+}
+
+func randomSymmetric(n int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewSquare(n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func TestEigenSymReconstruction(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 10, 25, 60} {
+		a := randomSymmetric(n, int64(n))
+		vals, vecs := EigenSym(a)
+		// Check A·v = λ·v for every pair.
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				var av float64
+				for j := 0; j < n; j++ {
+					av += a.At(i, j) * vecs.At(j, k)
+				}
+				if !almostEqual(av, vals[k]*vecs.At(i, k), 1e-9*float64(n)) {
+					t.Fatalf("n=%d: eigenpair %d violates A·v=λ·v at row %d: %g vs %g",
+						n, k, i, av, vals[k]*vecs.At(i, k))
+				}
+			}
+		}
+		// Eigenvalues ascending.
+		for k := 1; k < n; k++ {
+			if vals[k] < vals[k-1] {
+				t.Fatalf("n=%d: eigenvalues not ascending", n)
+			}
+		}
+		// Orthonormality of eigenvectors.
+		vtv := Mul(vecs.T(), vecs)
+		if MaxAbsDiff(vtv, Identity(n)) > 1e-10*float64(n) {
+			t.Fatalf("n=%d: eigenvectors not orthonormal (err %g)", n, MaxAbsDiff(vtv, Identity(n)))
+		}
+	}
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{3, 0, 0}, {0, -1, 0}, {0, 0, 2}})
+	vals, _ := EigenSym(a)
+	want := []float64{-1, 2, 3}
+	for i := range want {
+		if !almostEqual(vals[i], want[i], 1e-12) {
+			t.Fatalf("diagonal eigenvalues got %v want %v", vals, want)
+		}
+	}
+}
+
+func TestEigenSymKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, _ := EigenSym(a)
+	if !almostEqual(vals[0], 1, 1e-12) || !almostEqual(vals[1], 3, 1e-12) {
+		t.Fatalf("got %v want [1 3]", vals)
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	// Build SPD matrix A = B·Bᵀ + n·I.
+	n := 8
+	b := randomSymmetric(n, 3)
+	a := Mul(b, b.T())
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n))
+	}
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llt := MulABt(l, l)
+	if MaxAbsDiff(a, llt) > 1e-10 {
+		t.Fatalf("L·Lᵀ != A (err %g)", MaxAbsDiff(a, llt))
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("expected error for indefinite matrix")
+	}
+}
+
+func TestLowdin(t *testing.T) {
+	// X = S^{-1/2} must satisfy Xᵀ·S·X = I.
+	n := 6
+	b := randomSymmetric(n, 11)
+	s := Mul(b, b.T())
+	for i := 0; i < n; i++ {
+		s.Add(i, i, 1)
+	}
+	x := LowdinOrthogonalizer(s, 1e-10)
+	xsx := Mul(x.T(), Mul(s, x))
+	if MaxAbsDiff(xsx, Identity(x.Cols)) > 1e-9 {
+		t.Fatalf("Xᵀ S X != I (err %g)", MaxAbsDiff(xsx, Identity(x.Cols)))
+	}
+}
+
+func TestLowdinCanonicalDropsLinearDependence(t *testing.T) {
+	// Overlap with a near-zero eigenvalue must lose a column.
+	s := FromRows([][]float64{
+		{1, 1 - 1e-13},
+		{1 - 1e-13, 1},
+	})
+	x := LowdinOrthogonalizer(s, 1e-8)
+	if x.Cols != 1 {
+		t.Fatalf("expected 1 surviving column, got %d", x.Cols)
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	a := FromRows([][]float64{{4, 1, 0}, {1, 3, -1}, {0, -1, 2}})
+	want := FromRows([][]float64{{1}, {2}, {3}})
+	b := Mul(a, want)
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsDiff(x, want) > 1e-11 {
+		t.Fatalf("solve mismatch: got %v want %v", x, want)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	b := FromRows([][]float64{{1}, {2}})
+	if _, err := SolveLinear(a, b); err == nil {
+		t.Fatal("expected singularity error")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {4, 3}})
+	m.Symmetrize()
+	if !m.IsSymmetric(0) {
+		t.Fatal("not symmetric after Symmetrize")
+	}
+	if m.At(0, 1) != 3 {
+		t.Fatalf("expected mean 3, got %g", m.At(0, 1))
+	}
+}
+
+func TestPropertyEigenTraceInvariant(t *testing.T) {
+	// Sum of eigenvalues equals the trace (similarity invariant).
+	f := func(seed int64) bool {
+		n := 3 + int(uint64(seed)%6)
+		a := randomSymmetric(n, seed)
+		vals, _ := EigenSym(a)
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		return almostEqual(sum, a.Trace(), 1e-9*float64(n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCholeskyDeterminant(t *testing.T) {
+	// det(A) = Π L_ii² — cross-validate against eigenvalue product.
+	f := func(seed int64) bool {
+		n := 2 + int(uint64(seed)%5)
+		b := randomSymmetric(n, seed)
+		a := Mul(b, b.T())
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n))
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		detL := 1.0
+		for i := 0; i < n; i++ {
+			detL *= l.At(i, i) * l.At(i, i)
+		}
+		vals, _ := EigenSym(a)
+		detE := 1.0
+		for _, v := range vals {
+			detE *= v
+		}
+		return math.Abs(detL-detE) <= 1e-7*math.Abs(detE)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEigenSym100(b *testing.B) {
+	a := randomSymmetric(100, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EigenSym(a)
+	}
+}
+
+func BenchmarkMul200(b *testing.B) {
+	m := randomSymmetric(200, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(m, m)
+	}
+}

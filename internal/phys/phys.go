@@ -1,0 +1,55 @@
+// Package phys provides physical constants and unit conversions used
+// throughout hfxmd. All internal computation is done in Hartree atomic
+// units: lengths in bohr, energies in hartree, masses in electron masses,
+// and time in atomic time units.
+package phys
+
+import "fmt"
+
+// Fundamental conversion factors (CODATA-2010 era values, matching the
+// vintage of the reproduced paper).
+const (
+	// BohrToAngstrom converts lengths from bohr to ångström.
+	BohrToAngstrom = 0.52917721092
+	// AngstromToBohr converts lengths from ångström to bohr.
+	AngstromToBohr = 1.0 / BohrToAngstrom
+
+	// HartreeToEV converts energies from hartree to electron-volt.
+	HartreeToEV = 27.21138505
+	// HartreeToKcalMol converts energies from hartree to kcal/mol.
+	HartreeToKcalMol = 627.509469
+	// HartreeToKJMol converts energies from hartree to kJ/mol.
+	HartreeToKJMol = 2625.49962
+
+	// AMUToElectronMass converts atomic mass units to electron masses.
+	AMUToElectronMass = 1822.8884845
+
+	// AtomicTimeToFemtosecond converts atomic time units to femtoseconds.
+	AtomicTimeToFemtosecond = 0.02418884326505
+	// FemtosecondToAtomicTime converts femtoseconds to atomic time units.
+	FemtosecondToAtomicTime = 1.0 / AtomicTimeToFemtosecond
+
+	// BoltzmannHartreePerK is the Boltzmann constant in hartree/kelvin.
+	BoltzmannHartreePerK = 3.1668114e-6
+)
+
+// Energy is an energy value in hartree with pretty-printing helpers.
+type Energy float64
+
+// EV returns the energy in electron-volt.
+func (e Energy) EV() float64 { return float64(e) * HartreeToEV }
+
+// KcalMol returns the energy in kcal/mol.
+func (e Energy) KcalMol() float64 { return float64(e) * HartreeToKcalMol }
+
+// String renders the energy in hartree with high precision.
+func (e Energy) String() string { return fmt.Sprintf("%.8f Eh", float64(e)) }
+
+// Length is a length value in bohr.
+type Length float64
+
+// Angstrom returns the length in ångström.
+func (l Length) Angstrom() float64 { return float64(l) * BohrToAngstrom }
+
+// String renders the length in bohr.
+func (l Length) String() string { return fmt.Sprintf("%.6f a0", float64(l)) }

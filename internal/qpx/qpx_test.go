@@ -1,0 +1,168 @@
+package qpx
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"hfxmd/internal/boys"
+)
+
+func TestVecArithmetic(t *testing.T) {
+	a := Vec4{1, 2, 3, 4}
+	b := Vec4{5, 6, 7, 8}
+	if a.Add(b) != (Vec4{6, 8, 10, 12}) {
+		t.Fatal("Add")
+	}
+	if b.Sub(a) != (Vec4{4, 4, 4, 4}) {
+		t.Fatal("Sub")
+	}
+	if a.Mul(b) != (Vec4{5, 12, 21, 32}) {
+		t.Fatal("Mul")
+	}
+	if b.Div(a) != (Vec4{5, 3, 7.0 / 3, 2}) {
+		t.Fatal("Div")
+	}
+	if FMA(a, b, Splat(1)) != (Vec4{6, 13, 22, 33}) {
+		t.Fatal("FMA")
+	}
+	if a.Scale(2) != (Vec4{2, 4, 6, 8}) {
+		t.Fatal("Scale")
+	}
+	if a.HSum() != 10 {
+		t.Fatal("HSum")
+	}
+	if a.Max(Vec4{4, 1, 5, 0}) != (Vec4{4, 2, 5, 4}) {
+		t.Fatal("Max")
+	}
+}
+
+func TestVecMath(t *testing.T) {
+	v := Vec4{0, 1, 2, -1}
+	e := v.Exp()
+	for i, x := range v {
+		if math.Abs(e[i]-math.Exp(x)) > 1e-15*math.Exp(x) {
+			t.Fatalf("Exp lane %d", i)
+		}
+	}
+	s := Vec4{1, 4, 9, 16}.Sqrt()
+	if s != (Vec4{1, 2, 3, 4}) {
+		t.Fatal("Sqrt")
+	}
+	r := Vec4{1, 2, 4, 8}.Recip()
+	if r != (Vec4{1, 0.5, 0.25, 0.125}) {
+		t.Fatal("Recip")
+	}
+}
+
+func TestBoysBatchMatchesScalar(t *testing.T) {
+	const m = 8
+	out := make([]Vec4, m+1)
+	ref := make([]float64, m+1)
+	ts := []Vec4{
+		{0.1, 1.5, 7.2, 29.9},  // all tabulated
+		{0.0, 35.9, 36.1, 120}, // mixed tabulated/asymptotic
+		{50, 60, 70, 80},       // all asymptotic
+	}
+	for _, tv := range ts {
+		BoysBatch(m, tv, out)
+		for lane := 0; lane < Width; lane++ {
+			boys.Eval(m, tv[lane], ref)
+			for k := 0; k <= m; k++ {
+				if math.Abs(out[k][lane]-ref[k]) > 1e-14 {
+					t.Fatalf("T=%g lane=%d k=%d: batch %.16g scalar %.16g",
+						tv[lane], lane, k, out[k][lane], ref[k])
+				}
+			}
+		}
+	}
+}
+
+func TestBoysBatchProperty(t *testing.T) {
+	const m = 4
+	out := make([]Vec4, m+1)
+	ref := make([]float64, m+1)
+	f := func(a, b, c, d float64) bool {
+		clamp := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 1
+			}
+			return math.Mod(math.Abs(x), 90)
+		}
+		tv := Vec4{clamp(a), clamp(b), clamp(c), clamp(d)}
+		BoysBatch(m, tv, out)
+		for lane := 0; lane < Width; lane++ {
+			boys.Eval(m, tv[lane], ref)
+			for k := 0; k <= m; k++ {
+				if math.Abs(out[k][lane]-ref[k]) > 1e-13 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	var s Stats
+	s.Record(4)
+	s.Record(2)
+	if s.Batches() != 2 {
+		t.Fatalf("batches %d", s.Batches())
+	}
+	if got := s.Utilization(); math.Abs(got-0.75) > 1e-15 {
+		t.Fatalf("utilization %g", got)
+	}
+	s.Record(-3) // clamped to 0
+	s.Record(9)  // clamped to 4
+	if got := s.Utilization(); math.Abs(got-10.0/16.0) > 1e-15 {
+		t.Fatalf("clamped utilization %g", got)
+	}
+	s.Reset()
+	if s.Utilization() != 0 || s.Batches() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestStatsConcurrent(t *testing.T) {
+	var s Stats
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Record(3)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Batches() != 8000 {
+		t.Fatalf("batches %d", s.Batches())
+	}
+	if math.Abs(s.Utilization()-0.75) > 1e-15 {
+		t.Fatalf("utilization %g", s.Utilization())
+	}
+}
+
+func BenchmarkBoysScalar4(b *testing.B) {
+	out := make([]float64, 9)
+	ts := [4]float64{0.3, 1.7, 8.9, 14.2}
+	for i := 0; i < b.N; i++ {
+		for _, T := range ts {
+			boys.Eval(8, T, out)
+		}
+	}
+}
+
+func BenchmarkBoysBatch(b *testing.B) {
+	out := make([]Vec4, 9)
+	tv := Vec4{0.3, 1.7, 8.9, 14.2}
+	for i := 0; i < b.N; i++ {
+		BoysBatch(8, tv, out)
+	}
+}

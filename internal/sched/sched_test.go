@@ -1,0 +1,247 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func uniformCosts(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = 0.5 + rng.Float64()
+	}
+	return c
+}
+
+// heavyTailCosts mimics HFX task costs: many cheap tasks, few expensive.
+func heavyTailCosts(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = math.Exp(3 * rng.NormFloat64())
+	}
+	return c
+}
+
+func TestAllTasksAssignedExactlyOnce(t *testing.T) {
+	costs := heavyTailCosts(500, 1)
+	for _, alg := range []Algorithm{Block, RoundRobin, LPT, Steal} {
+		a := Balance(alg, costs, 7)
+		seen := make([]bool, len(costs))
+		for _, tasks := range a.Workers {
+			for _, ti := range tasks {
+				if seen[ti] {
+					t.Fatalf("%v: task %d assigned twice", alg, ti)
+				}
+				seen[ti] = true
+			}
+		}
+		for i, s := range seen {
+			if !s {
+				t.Fatalf("%v: task %d never assigned", alg, i)
+			}
+		}
+	}
+}
+
+func TestLoadsMatchCosts(t *testing.T) {
+	costs := uniformCosts(100, 2)
+	var total float64
+	for _, c := range costs {
+		total += c
+	}
+	for _, alg := range []Algorithm{Block, RoundRobin, LPT, Steal} {
+		a := Balance(alg, costs, 9)
+		var sum float64
+		for _, l := range a.Loads {
+			sum += l
+		}
+		if math.Abs(sum-total) > 1e-9 {
+			t.Fatalf("%v: loads sum %g != total %g", alg, sum, total)
+		}
+	}
+}
+
+func TestLPTBeatsBlockOnHeavyTail(t *testing.T) {
+	costs := heavyTailCosts(2000, 3)
+	nw := 64
+	lpt := Balance(LPT, costs, nw).BalanceRatio()
+	blk := Balance(Block, costs, nw).BalanceRatio()
+	rr := Balance(RoundRobin, costs, nw).BalanceRatio()
+	if lpt >= blk {
+		t.Fatalf("LPT ratio %.3f not better than block %.3f", lpt, blk)
+	}
+	if lpt >= rr {
+		t.Fatalf("LPT ratio %.3f not better than round-robin %.3f", lpt, rr)
+	}
+}
+
+func TestLPTNearPerfectOnManySmallTasks(t *testing.T) {
+	costs := uniformCosts(10000, 4)
+	a := Balance(LPT, costs, 16)
+	if r := a.BalanceRatio(); r > 1.001 {
+		t.Fatalf("LPT ratio %.5f should be ~1 for many uniform tasks", r)
+	}
+}
+
+func TestLPTApproximationBound(t *testing.T) {
+	// Graham's bound: LPT makespan ≤ (4/3 − 1/(3m))·OPT, and
+	// OPT ≥ max(total/m, max task). Check against that lower bound.
+	f := func(seed int64) bool {
+		costs := heavyTailCosts(50+int(uint64(seed)%200), seed)
+		m := 2 + int(uint64(seed)%14)
+		a := Balance(LPT, costs, m)
+		var total, maxc float64
+		for _, c := range costs {
+			total += c
+			if c > maxc {
+				maxc = c
+			}
+		}
+		opt := math.Max(total/float64(m), maxc)
+		bound := (4.0/3.0 - 1.0/(3.0*float64(m))) * opt
+		return a.MaxLoad() <= bound*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStealRespectsListOrderGreedy(t *testing.T) {
+	// With one worker every algorithm degenerates to the same makespan.
+	costs := uniformCosts(50, 5)
+	var total float64
+	for _, c := range costs {
+		total += c
+	}
+	for _, alg := range []Algorithm{Block, RoundRobin, LPT, Steal} {
+		a := Balance(alg, costs, 1)
+		if math.Abs(a.MaxLoad()-total) > 1e-9 {
+			t.Fatalf("%v: single-worker makespan wrong", alg)
+		}
+	}
+}
+
+func TestMoreWorkersNeverIncreaseMakespanLPT(t *testing.T) {
+	costs := heavyTailCosts(300, 6)
+	prev := math.Inf(1)
+	for _, nw := range []int{1, 2, 4, 8, 16, 32} {
+		m := Balance(LPT, costs, nw).MaxLoad()
+		if m > prev*(1+1e-12) {
+			t.Fatalf("LPT makespan increased from %g to %g at %d workers", prev, m, nw)
+		}
+		prev = m
+	}
+}
+
+func TestBalanceRatioBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		costs := heavyTailCosts(100, seed)
+		for _, alg := range []Algorithm{Block, RoundRobin, LPT, Steal} {
+			r := Balance(alg, costs, 8).BalanceRatio()
+			if r < 1-1e-12 || math.IsNaN(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyTaskList(t *testing.T) {
+	for _, alg := range []Algorithm{Block, RoundRobin, LPT, Steal} {
+		a := Balance(alg, nil, 4)
+		if a.MaxLoad() != 0 || a.BalanceRatio() != 1 {
+			t.Fatalf("%v: empty list gave max %g ratio %g", alg, a.MaxLoad(), a.BalanceRatio())
+		}
+	}
+}
+
+func TestMoreWorkersThanTasks(t *testing.T) {
+	costs := []float64{3, 1, 2}
+	for _, alg := range []Algorithm{Block, RoundRobin, LPT, Steal} {
+		a := Balance(alg, costs, 10)
+		if a.MaxLoad() < 3 {
+			t.Fatalf("%v: makespan below largest task", alg)
+		}
+		if got := a.NWorkers(); got != 10 {
+			t.Fatalf("%v: %d workers", alg, got)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	costs := heavyTailCosts(200, 7)
+	a := Balance(LPT, costs, 13)
+	b := Balance(LPT, costs, 13)
+	for w := range a.Workers {
+		if len(a.Workers[w]) != len(b.Workers[w]) {
+			t.Fatal("LPT not deterministic")
+		}
+		for i := range a.Workers[w] {
+			if a.Workers[w][i] != b.Workers[w][i] {
+				t.Fatal("LPT not deterministic")
+			}
+		}
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	names := map[Algorithm]string{Block: "block", RoundRobin: "round-robin", LPT: "lpt", Steal: "steal"}
+	for alg, want := range names {
+		if alg.String() != want {
+			t.Fatalf("%d -> %q", alg, alg.String())
+		}
+	}
+	if Algorithm(99).String() == "" {
+		t.Fatal("unknown algorithm should still print")
+	}
+}
+
+func TestBalancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 0 workers")
+		}
+	}()
+	Balance(LPT, []float64{1}, 0)
+}
+
+func TestSummarize(t *testing.T) {
+	st := Summarize([]float64{1, 2, 3, 4})
+	if st.N != 4 || st.Total != 10 || st.Max != 4 || st.Min != 1 || st.Mean != 2.5 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.CV <= 0 {
+		t.Fatal("CV should be positive for non-constant costs")
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Total != 0 {
+		t.Fatalf("empty stats %+v", empty)
+	}
+}
+
+func TestTheoreticalEfficiency(t *testing.T) {
+	costs := uniformCosts(4000, 8)
+	a := Balance(LPT, costs, 8)
+	eff := a.TheoreticalEfficiency()
+	if eff < 0.999 || eff > 1 {
+		t.Fatalf("efficiency %g", eff)
+	}
+	if got := 1 / a.BalanceRatio(); math.Abs(got-eff) > 1e-12 {
+		t.Fatal("efficiency != 1/ratio")
+	}
+}
+
+func BenchmarkLPT100k(b *testing.B) {
+	costs := heavyTailCosts(100000, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Balance(LPT, costs, 1024)
+	}
+}

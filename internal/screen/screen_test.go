@@ -1,0 +1,151 @@
+package screen
+
+import (
+	"math"
+	"testing"
+
+	"hfxmd/internal/basis"
+	"hfxmd/internal/chem"
+	"hfxmd/internal/integrals"
+	"hfxmd/internal/linalg"
+)
+
+func waterEngine(n int) *integrals.Engine {
+	var mol *chem.Molecule
+	if n == 1 {
+		mol = chem.Water()
+	} else {
+		mol = chem.WaterCluster(n, 1)
+	}
+	return integrals.NewEngine(basis.MustBuild("STO-3G", mol))
+}
+
+func TestPairListMonomerKeepsEverything(t *testing.T) {
+	eng := waterEngine(1)
+	res := BuildPairList(eng, DefaultOptions())
+	ns := eng.Basis.NShells()
+	want := ns * (ns + 1) / 2
+	if res.Stats.TotalPairs != want {
+		t.Fatalf("total pairs %d want %d", res.Stats.TotalPairs, want)
+	}
+	if len(res.Pairs) != want {
+		t.Fatalf("a single water should keep all %d pairs, kept %d", want, len(res.Pairs))
+	}
+}
+
+func TestPairListSortedDescending(t *testing.T) {
+	res := BuildPairList(waterEngine(4), DefaultOptions())
+	for i := 1; i < len(res.Pairs); i++ {
+		if res.Pairs[i].Q > res.Pairs[i-1].Q {
+			t.Fatal("pair list not sorted by descending Q")
+		}
+	}
+}
+
+func TestScreeningRemovesDistantPairs(t *testing.T) {
+	// Two waters 40 bohr apart: the cross pairs must be screened out.
+	m := chem.Water()
+	w2 := chem.Water()
+	w2.Translate(chem.Vec3{40, 0, 0})
+	m = m.Merge(w2)
+	eng := integrals.NewEngine(basis.MustBuild("STO-3G", m))
+	res := BuildPairList(eng, DefaultOptions())
+	for _, p := range res.Pairs {
+		sa := &eng.Basis.Shells[p.A]
+		sb := &eng.Basis.Shells[p.B]
+		if sa.Atom < 3 != (sb.Atom < 3) {
+			t.Fatalf("cross-molecule pair (%d,%d) at R=%.1f survived", p.A, p.B, p.R)
+		}
+	}
+	if res.Stats.SchwarzSurvived >= res.Stats.TotalPairs {
+		t.Fatal("screening removed nothing")
+	}
+}
+
+func TestTighterThresholdKeepsMorePairs(t *testing.T) {
+	eng := waterEngine(8)
+	loose := BuildPairList(eng, Options{Threshold: 1e-4, ExtentEps: 1e-10})
+	tight := BuildPairList(eng, Options{Threshold: 1e-12, ExtentEps: 1e-10})
+	if len(tight.Pairs) < len(loose.Pairs) {
+		t.Fatalf("tight %d < loose %d", len(tight.Pairs), len(loose.Pairs))
+	}
+}
+
+func TestNoDistanceAblation(t *testing.T) {
+	eng := waterEngine(8)
+	with := BuildPairList(eng, Options{Threshold: 1e-8, ExtentEps: 1e-10})
+	without := BuildPairList(eng, Options{Threshold: 1e-8, ExtentEps: 1e-10, NoDistance: true})
+	if without.Stats.DistanceSurvived != without.Stats.TotalPairs {
+		t.Fatal("NoDistance should pass every pair through the pre-screen")
+	}
+	// Schwarz alone must keep at least as many pairs as distance+Schwarz.
+	if len(without.Pairs) < len(with.Pairs) {
+		t.Fatalf("schwarz-only %d < combined %d", len(without.Pairs), len(with.Pairs))
+	}
+}
+
+func TestQuartetSurvives(t *testing.T) {
+	res := &Result{Opts: Options{Threshold: 1e-8}}
+	strong := Pair{Q: 1.0}
+	weak := Pair{Q: 1e-5}
+	if !res.QuartetSurvives(strong, strong) {
+		t.Fatal("strong quartet rejected")
+	}
+	if res.QuartetSurvives(weak, Pair{Q: 1e-4}) {
+		t.Fatal("weak quartet accepted")
+	}
+	if res.QuartetSurvivesWeighted(strong, strong, 1e-9) {
+		t.Fatal("density weighting ignored")
+	}
+	if !res.QuartetSurvivesWeighted(weak, weak, 1e8) {
+		t.Fatal("large density should rescue quartet")
+	}
+}
+
+func TestMaxDensityAbs(t *testing.T) {
+	eng := waterEngine(1)
+	n := eng.Basis.NBasis
+	p := linalg.NewSquare(n)
+	// Put a large element coupling shell 0 (O 1s, index 0) and shell 4
+	// (H 1s, last index).
+	p.Set(0, n-1, -3.5)
+	got := MaxDensityAbs(eng.Basis, p, 0, 1, 4, 3)
+	if math.Abs(got-3.5) > 1e-15 {
+		t.Fatalf("MaxDensityAbs got %g want 3.5", got)
+	}
+	// A quartet not touching that element sees 0.
+	if got := MaxDensityAbs(eng.Basis, p, 1, 2, 2, 3); got != 0 {
+		t.Fatalf("expected 0, got %g", got)
+	}
+}
+
+func TestPeriodicMinimumImageScreening(t *testing.T) {
+	// In a periodic box, shells near opposite faces are close under the
+	// minimum-image convention: the distance pre-screen must keep them,
+	// whereas the same geometry without a cell drops them.
+	build := func(periodic bool) Stats {
+		m := chem.Water()
+		w2 := chem.Water()
+		l := 40.0
+		w2.Translate(chem.Vec3{l - 1.5, 0, 0}) // 1.5 bohr via minimum image
+		m = m.Merge(w2)
+		if periodic {
+			m.Cell = &chem.Cell{L: chem.Vec3{l, l, l}}
+		}
+		eng := integrals.NewEngine(basis.MustBuild("STO-3G", m))
+		return BuildPairList(eng, DefaultOptions()).Stats
+	}
+	open := build(false)
+	pbc := build(true)
+	if pbc.DistanceSurvived <= open.DistanceSurvived {
+		t.Fatalf("minimum image should keep more pairs through the distance screen: pbc %d vs open %d",
+			pbc.DistanceSurvived, open.DistanceSurvived)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{TotalPairs: 100, DistanceSurvived: 60, SchwarzSurvived: 40}
+	if got := s.String(); got == "" {
+		t.Fatal("empty stats string")
+	}
+}

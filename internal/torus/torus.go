@@ -1,0 +1,218 @@
+// Package torus models the Blue Gene/Q 5-D torus interconnect: partition
+// shapes (A,B,C,D,E dimensions with E fixed at 2), node coordinates,
+// minimal-hop routing distances, and the structural quantities (diameter,
+// bisection width) that drive the collective-communication models in
+// package bgq.
+package torus
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dims is the number of torus dimensions on BG/Q.
+const Dims = 5
+
+// Shape is a 5-D torus partition shape (A,B,C,D,E).
+type Shape [Dims]int
+
+// Nodes returns the node count of the partition.
+func (s Shape) Nodes() int {
+	n := 1
+	for _, d := range s {
+		n *= d
+	}
+	return n
+}
+
+// String renders the shape as "AxBxCxDxE".
+func (s Shape) String() string {
+	return fmt.Sprintf("%dx%dx%dx%dx%d", s[0], s[1], s[2], s[3], s[4])
+}
+
+// Valid reports whether all dimensions are positive.
+func (s Shape) Valid() bool {
+	for _, d := range s {
+		if d < 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// rackShapes are the standard production partition shapes: a BG/Q rack
+// holds 1024 nodes (two 512-node midplanes of shape 4×4×4×4×2); the
+// 96-rack shape is the Sequoia configuration.
+var rackShapes = map[int]Shape{
+	1:  {4, 4, 4, 8, 2},
+	2:  {4, 4, 8, 8, 2},
+	4:  {4, 8, 8, 8, 2},
+	8:  {8, 8, 8, 8, 2},
+	16: {8, 8, 8, 16, 2},
+	24: {8, 8, 12, 16, 2},
+	32: {8, 8, 16, 16, 2},
+	48: {8, 12, 16, 16, 2},
+	64: {8, 16, 16, 16, 2},
+	96: {16, 16, 12, 16, 2},
+}
+
+// ShapeForRacks returns the partition shape for the given rack count. For
+// rack counts without a tabulated production shape it factors 1024·racks
+// into the most cube-like 5-D shape with E=2.
+func ShapeForRacks(racks int) (Shape, error) {
+	if racks < 1 {
+		return Shape{}, fmt.Errorf("torus: rack count %d out of range", racks)
+	}
+	if s, ok := rackShapes[racks]; ok {
+		return s, nil
+	}
+	return balancedShape(racks * 1024)
+}
+
+// balancedShape factors n into 5 dimensions (last fixed to 2) as evenly
+// as possible; n must be divisible by 2 and factor into small primes.
+func balancedShape(n int) (Shape, error) {
+	if n%2 != 0 {
+		return Shape{}, fmt.Errorf("torus: node count %d not divisible by E=2", n)
+	}
+	rem := n / 2
+	dims := []int{1, 1, 1, 1}
+	// Greedy: repeatedly strip the smallest prime factor onto the
+	// currently smallest dimension.
+	for rem > 1 {
+		f := smallestFactor(rem)
+		sort.Ints(dims)
+		dims[0] *= f
+		rem /= f
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(dims)))
+	return Shape{dims[0], dims[1], dims[2], dims[3], 2}, nil
+}
+
+func smallestFactor(n int) int {
+	for f := 2; f*f <= n; f++ {
+		if n%f == 0 {
+			return f
+		}
+	}
+	return n
+}
+
+// Coord is a node coordinate in the torus.
+type Coord [Dims]int
+
+// Torus is an instantiated partition.
+type Torus struct {
+	Shape Shape
+}
+
+// New creates a torus of the given shape.
+func New(s Shape) (*Torus, error) {
+	if !s.Valid() {
+		return nil, fmt.Errorf("torus: invalid shape %v", s)
+	}
+	return &Torus{Shape: s}, nil
+}
+
+// Rank maps a coordinate to its linear rank (row-major, A slowest).
+func (t *Torus) Rank(c Coord) int {
+	r := 0
+	for d := 0; d < Dims; d++ {
+		if c[d] < 0 || c[d] >= t.Shape[d] {
+			panic(fmt.Sprintf("torus: coordinate %v outside shape %v", c, t.Shape))
+		}
+		r = r*t.Shape[d] + c[d]
+	}
+	return r
+}
+
+// Coords maps a linear rank back to its coordinate.
+func (t *Torus) Coords(rank int) Coord {
+	if rank < 0 || rank >= t.Shape.Nodes() {
+		panic(fmt.Sprintf("torus: rank %d outside partition of %d nodes", rank, t.Shape.Nodes()))
+	}
+	var c Coord
+	for d := Dims - 1; d >= 0; d-- {
+		c[d] = rank % t.Shape[d]
+		rank /= t.Shape[d]
+	}
+	return c
+}
+
+// HopDistance returns the minimal-hop routing distance between two nodes
+// (sum of per-dimension wrap-around distances).
+func (t *Torus) HopDistance(a, b Coord) int {
+	h := 0
+	for d := 0; d < Dims; d++ {
+		diff := a[d] - b[d]
+		if diff < 0 {
+			diff = -diff
+		}
+		if wrap := t.Shape[d] - diff; wrap < diff {
+			diff = wrap
+		}
+		h += diff
+	}
+	return h
+}
+
+// Diameter returns the maximum minimal-hop distance in the partition.
+func (t *Torus) Diameter() int {
+	d := 0
+	for k := 0; k < Dims; k++ {
+		d += t.Shape[k] / 2
+	}
+	return d
+}
+
+// BisectionLinks returns the number of links crossing the partition's
+// narrowest bisection: cut the longest dimension in half; 2 directions ×
+// the product of the remaining dimensions (×2 again for the torus wrap).
+func (t *Torus) BisectionLinks() int {
+	longest := 0
+	for d := 1; d < Dims; d++ {
+		if t.Shape[d] > t.Shape[longest] {
+			longest = d
+		}
+	}
+	other := 1
+	for d := 0; d < Dims; d++ {
+		if d != longest {
+			other *= t.Shape[d]
+		}
+	}
+	wrap := 2
+	if t.Shape[longest] <= 2 {
+		wrap = 1 // a dimension of length ≤2 has no independent wrap link
+	}
+	return other * wrap
+}
+
+// NeighborCount returns the number of torus neighbours of any node
+// (2 per dimension of length > 2, 1 for length-2 dimensions).
+func (t *Torus) NeighborCount() int {
+	n := 0
+	for d := 0; d < Dims; d++ {
+		switch {
+		case t.Shape[d] >= 3:
+			n += 2
+		case t.Shape[d] == 2:
+			n++
+		}
+	}
+	return n
+}
+
+// DimExchangeSteps returns the number of nearest-neighbour exchange steps
+// of a dimension-ordered recursive-halving allreduce: Σ_d ceil(log2 L_d).
+func (t *Torus) DimExchangeSteps() int {
+	steps := 0
+	for d := 0; d < Dims; d++ {
+		l := t.Shape[d]
+		for l > 1 {
+			steps++
+			l = (l + 1) / 2
+		}
+	}
+	return steps
+}

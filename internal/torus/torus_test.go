@@ -1,0 +1,152 @@
+package torus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeForRacksProduction(t *testing.T) {
+	for racks, want := range map[int]int{1: 1024, 2: 2048, 8: 8192, 96: 98304} {
+		s, err := ShapeForRacks(racks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Nodes() != want {
+			t.Fatalf("%d racks: %v = %d nodes, want %d", racks, s, s.Nodes(), want)
+		}
+		if s[4] != 2 {
+			t.Fatalf("%d racks: E dimension %d != 2", racks, s[4])
+		}
+	}
+	// Sequoia shape check.
+	s, _ := ShapeForRacks(96)
+	if s != (Shape{16, 16, 12, 16, 2}) {
+		t.Fatalf("96-rack shape %v", s)
+	}
+}
+
+func TestShapeForRacksFallback(t *testing.T) {
+	// 3 racks has no production entry: fallback must still hit the node
+	// count.
+	s, err := ShapeForRacks(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes() != 3072 {
+		t.Fatalf("3 racks: %v = %d nodes", s, s.Nodes())
+	}
+	if _, err := ShapeForRacks(0); err == nil {
+		t.Fatal("expected error for 0 racks")
+	}
+}
+
+func TestRankCoordRoundTrip(t *testing.T) {
+	s, _ := ShapeForRacks(1)
+	tor, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < s.Nodes(); rank += 37 {
+		c := tor.Coords(rank)
+		if got := tor.Rank(c); got != rank {
+			t.Fatalf("rank %d -> %v -> %d", rank, c, got)
+		}
+	}
+}
+
+func TestRankPanicsOutOfRange(t *testing.T) {
+	tor, _ := New(Shape{2, 2, 2, 2, 2})
+	mustPanic := func(f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { tor.Coords(32) })
+	mustPanic(func() { tor.Rank(Coord{0, 0, 0, 0, 5}) })
+}
+
+func TestHopDistanceProperties(t *testing.T) {
+	tor, _ := New(Shape{4, 4, 4, 8, 2})
+	n := tor.Shape.Nodes()
+	f := func(a, b uint16) bool {
+		ca := tor.Coords(int(a) % n)
+		cb := tor.Coords(int(b) % n)
+		d := tor.HopDistance(ca, cb)
+		// Symmetry, identity, bounded by diameter.
+		return d == tor.HopDistance(cb, ca) &&
+			(d == 0) == (ca == cb) &&
+			d <= tor.Diameter()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopDistanceWrap(t *testing.T) {
+	tor, _ := New(Shape{8, 4, 4, 4, 2})
+	a := Coord{0, 0, 0, 0, 0}
+	b := Coord{7, 0, 0, 0, 0}
+	if d := tor.HopDistance(a, b); d != 1 {
+		t.Fatalf("wrap distance %d want 1", d)
+	}
+	c := Coord{4, 0, 0, 0, 0}
+	if d := tor.HopDistance(a, c); d != 4 {
+		t.Fatalf("half-way distance %d want 4", d)
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	tor, _ := New(Shape{4, 4, 4, 8, 2})
+	// 2+2+2+4+1 = 11.
+	if d := tor.Diameter(); d != 11 {
+		t.Fatalf("diameter %d", d)
+	}
+}
+
+func TestNeighborCount(t *testing.T) {
+	tor, _ := New(Shape{4, 4, 4, 8, 2})
+	// 4 dims of length ≥3 → 8 links, E=2 → 1 link: 9.
+	if n := tor.NeighborCount(); n != 9 {
+		t.Fatalf("neighbors %d", n)
+	}
+	tiny, _ := New(Shape{1, 1, 1, 1, 2})
+	if n := tiny.NeighborCount(); n != 1 {
+		t.Fatalf("tiny neighbors %d", n)
+	}
+}
+
+func TestDimExchangeSteps(t *testing.T) {
+	tor, _ := New(Shape{4, 4, 4, 8, 2})
+	// log2: 2+2+2+3+1 = 10.
+	if s := tor.DimExchangeSteps(); s != 10 {
+		t.Fatalf("steps %d", s)
+	}
+}
+
+func TestBisectionGrowsWithPartition(t *testing.T) {
+	prev := 0
+	for _, racks := range []int{1, 8, 96} {
+		s, _ := ShapeForRacks(racks)
+		tor, _ := New(s)
+		b := tor.BisectionLinks()
+		if b <= prev {
+			t.Fatalf("bisection did not grow: %d racks -> %d links (prev %d)", racks, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	if _, err := New(Shape{0, 1, 1, 1, 2}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if got := (Shape{4, 4, 4, 8, 2}).String(); got != "4x4x4x8x2" {
+		t.Fatalf("%q", got)
+	}
+}

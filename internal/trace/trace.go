@@ -1,0 +1,144 @@
+// Package trace provides the lightweight performance instrumentation used
+// across hfxmd: concurrent counters, phase timers and fixed-bucket
+// histograms. It exists so that the execution reports (package hfx) and
+// the command-line tools can account where time goes without pulling in
+// any dependency.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a concurrent monotonic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Timer accumulates wall-clock durations per named phase. It is safe for
+// concurrent use; overlapping phases accumulate independently.
+type Timer struct {
+	mu     sync.Mutex
+	phases map[string]time.Duration
+}
+
+// NewTimer returns an empty phase timer.
+func NewTimer() *Timer { return &Timer{phases: make(map[string]time.Duration)} }
+
+// Phase runs f and charges its duration to the named phase.
+func (t *Timer) Phase(name string, f func()) {
+	start := time.Now()
+	f()
+	t.Charge(name, time.Since(start))
+}
+
+// Charge adds d to the named phase.
+func (t *Timer) Charge(name string, d time.Duration) {
+	t.mu.Lock()
+	t.phases[name] += d
+	t.mu.Unlock()
+}
+
+// Get returns the accumulated duration of a phase.
+func (t *Timer) Get(name string) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.phases[name]
+}
+
+// String renders all phases sorted by descending time.
+func (t *Timer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	type kv struct {
+		k string
+		v time.Duration
+	}
+	rows := make([]kv, 0, len(t.phases))
+	for k, v := range t.phases {
+		rows = append(rows, kv{k, v})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].v > rows[j].v })
+	s := ""
+	for _, r := range rows {
+		s += fmt.Sprintf("%-16s %v\n", r.k, r.v)
+	}
+	return s
+}
+
+// Histogram is a fixed-boundary histogram for positive values (e.g. task
+// costs). Boundaries are upper bucket edges; values beyond the last edge
+// land in the overflow bucket.
+type Histogram struct {
+	edges  []float64
+	counts []atomic.Int64
+}
+
+// NewHistogram creates a histogram with the given ascending upper edges.
+func NewHistogram(edges []float64) *Histogram {
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			panic("trace: histogram edges must ascend")
+		}
+	}
+	return &Histogram{
+		edges:  append([]float64(nil), edges...),
+		counts: make([]atomic.Int64, len(edges)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.edges, v)
+	h.counts[i].Add(1)
+}
+
+// Counts returns the per-bucket counts (last entry is overflow).
+func (h *Histogram) Counts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for i := range h.counts {
+		t += h.counts[i].Load()
+	}
+	return t
+}
+
+// Quantile returns an upper bound for the q-quantile (0<q≤1) based on the
+// bucket edges; +Inf-ish (last edge) when it falls in the overflow bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			if i < len(h.edges) {
+				return h.edges[i]
+			}
+			return h.edges[len(h.edges)-1]
+		}
+	}
+	return h.edges[len(h.edges)-1]
+}

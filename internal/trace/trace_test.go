@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 20000 {
+		t.Fatalf("counter %d", c.Value())
+	}
+}
+
+func TestTimerPhases(t *testing.T) {
+	tm := NewTimer()
+	tm.Phase("a", func() { time.Sleep(2 * time.Millisecond) })
+	tm.Charge("b", 5*time.Millisecond)
+	tm.Charge("b", 5*time.Millisecond)
+	if tm.Get("a") < 2*time.Millisecond {
+		t.Fatalf("phase a %v", tm.Get("a"))
+	}
+	if tm.Get("b") != 10*time.Millisecond {
+		t.Fatalf("phase b %v", tm.Get("b"))
+	}
+	if tm.Get("missing") != 0 {
+		t.Fatal("missing phase should be zero")
+	}
+	if tm.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 0.7, 5, 50, 5000} {
+		h.Observe(v)
+	}
+	counts := h.Counts()
+	want := []int64{2, 1, 1, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts %v want %v", counts, want)
+		}
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total %d", h.Total())
+	}
+	if q := h.Quantile(0.5); q != 10 {
+		t.Fatalf("median bound %g", q)
+	}
+	if q := h.Quantile(1.0); q != 100 {
+		t.Fatalf("max bound %g", q)
+	}
+}
+
+func TestHistogramEmptyAndEdges(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if h.Quantile(0.9) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+	// Edge values land in their bucket (SearchFloat64s: v == edge goes to
+	// the bucket whose upper edge is v... i.e. index of first edge ≥ v).
+	h.Observe(1)
+	if c := h.Counts(); c[0] != 1 {
+		t.Fatalf("edge observation %v", c)
+	}
+}
+
+func TestHistogramPanicsOnBadEdges(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram([]float64{2, 1})
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram([]float64{10})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe(float64(j % 20))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Total() != 4000 {
+		t.Fatalf("total %d", h.Total())
+	}
+}
