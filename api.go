@@ -164,9 +164,16 @@ func NewExchangeBuilder(mol *Molecule, basisName string, sopts ScreeningOptions,
 }
 
 // BuildJK evaluates the Coulomb and exchange matrices for density p.
+// The returned matrices alias the builder's persistent buffers and are
+// valid until the next BuildJK on this builder; clone them to keep
+// results across builds.
 func (e *ExchangeBuilder) BuildJK(p *Matrix) (j, k *Matrix, rep ExchangeReport) {
 	return e.b.BuildJK(p)
 }
+
+// Close stops the builder's persistent worker pool. Optional (a
+// finalizer covers forgotten builders) but releases goroutines promptly.
+func (e *ExchangeBuilder) Close() { e.b.Close() }
 
 // NBasis returns the basis dimension of the builder.
 func (e *ExchangeBuilder) NBasis() int { return e.b.Eng.Basis.NBasis }

@@ -8,12 +8,15 @@
 //	A1 — load-balancer ablation (block / round-robin / LPT / steal);
 //	A2 — reduction-algorithm ablation (dim-exchange / binomial / ring);
 //	W1 — weak scaling (system grows with the machine);
-//	M0 — the simulated BG/Q partition table (shapes, threads, bisection).
+//	M0 — the simulated BG/Q partition table (shapes, threads, bisection);
+//	P1 — real (non-simulated) repeated Fock builds on the persistent
+//	     worker pool, with the per-phase accounting table.
 //
 // Usage:
 //
 //	hfxscale -exp e1 -waters 4096
 //	hfxscale -exp e2
+//	hfxscale -exp p1 -pwaters 4 -builds 4
 //	hfxscale -exp all
 package main
 
@@ -25,6 +28,7 @@ import (
 
 	"hfxmd"
 	"hfxmd/internal/bgq"
+	"hfxmd/internal/linalg"
 	"hfxmd/internal/sched"
 )
 
@@ -34,11 +38,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hfxscale: ")
 	var (
-		exp    = flag.String("exp", "all", "experiment: e1|e2|e3|a1|a2|w1|m0|all")
+		exp    = flag.String("exp", "all", "experiment: e1|e2|e3|a1|a2|w1|m0|p1|all")
 		waters = flag.Int("waters", 4096, "condensed-phase system size (H2O molecules)")
 		tasks  = flag.Int("tasks", 3<<20, "node-level task count of the paper decomposition")
 		seed   = flag.Int64("seed", 1, "workload seed")
 	)
+	flag.StringVar(&p1Basis, "pbasis", "STO-3G", "basis for -exp p1")
+	flag.IntVar(&p1Waters, "pwaters", 4, "cluster size for -exp p1")
+	flag.IntVar(&p1Builds, "builds", 4, "Fock builds for -exp p1")
 	flag.Parse()
 
 	paper := hfxmd.CondensedPhaseWorkload(*waters, *tasks, *seed)
@@ -71,6 +78,42 @@ func main() {
 	if all || want == "m0" {
 		run("M0: simulated platform (BG/Q partitions)", expM0)
 	}
+	if all || want == "p1" {
+		run("P1: persistent-pool Fock builds (real, not simulated)", expP1)
+	}
+}
+
+var (
+	p1Basis  string
+	p1Waters int
+	p1Builds int
+)
+
+// expP1 runs real repeated Fock builds on one persistent builder pool
+// and prints the per-phase accounting: the first build pays the scratch
+// warm-up, every later build reuses the pool's buffers without
+// allocating.
+func expP1(_, _ *hfxmd.MachineWorkload) {
+	b, err := hfxmd.NewExchangeBuilder(hfxmd.WaterCluster(p1Waters, 1), p1Basis,
+		hfxmd.DefaultScreening(), hfxmd.PaperExchangeOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer b.Close()
+	n := b.NBasis()
+	p := linalg.NewSquare(n)
+	for i := 0; i < n; i++ {
+		p.Set(i, i, 1)
+	}
+	fmt.Printf("(H2O)_%d / %s, %d basis functions, %d builds on one pool\n\n",
+		p1Waters, p1Basis, n, p1Builds)
+	var rep hfxmd.ExchangeReport
+	for i := 0; i < p1Builds; i++ {
+		_, _, rep = b.BuildJK(p)
+		fmt.Printf("build %d: wall %12v  quartets %8d  screened %8d  lanes %.2f\n",
+			i+1, rep.Wall, rep.QuartetsComputed, rep.QuartetsScreened, rep.LaneUtilization)
+	}
+	fmt.Printf("\naccounting (last build + pool lifetime):\n%s", rep.PhaseTable())
 }
 
 func expM0(_, _ *hfxmd.MachineWorkload) {

@@ -84,6 +84,16 @@ func main() {
 		res.HOMO(), res.LUMO(), res.Gap()*phys.HartreeToEV)
 
 	fmt.Printf("\nHFX build  : %s\n", res.HFXReport)
+	fmt.Printf("screening  : %s (schwarz %v, sweep %v, %d threads)\n",
+		res.HFXReport.ScreeningStats,
+		res.HFXReport.ScreeningStats.SchwarzWall,
+		res.HFXReport.ScreeningStats.PairWall,
+		res.HFXReport.ScreeningStats.Threads)
+	fmt.Printf("pool       : %d workers, %d persistent buffers (%.1f MiB), %d builds, %d reuse hits\n",
+		res.HFXReport.Pool.Workers, res.HFXReport.Pool.BuffersAllocated,
+		float64(res.HFXReport.Pool.BufferBytes)/(1<<20),
+		res.HFXReport.Pool.Builds, res.HFXReport.Pool.ReuseHits)
+	fmt.Printf("accounting (last build + pool lifetime):\n%s", res.HFXReport.PhaseTable())
 
 	mu := hfxmd.DipoleMoment(res)
 	fmt.Printf("Dipole     : (%.4f, %.4f, %.4f) a.u.\n", mu[0], mu[1], mu[2])

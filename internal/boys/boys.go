@@ -132,6 +132,29 @@ func Eval(m int, t float64, out []float64) {
 	}
 }
 
+// The constants below expose the tabulated fast path's grid so that
+// lane-parallel consumers (package qpx) can perform the table lookup and
+// Taylor expansion across SIMD lanes with exactly the same arithmetic as
+// the scalar Eval.
+const (
+	// TableTMax is the upper end of the tabulated range; arguments at or
+	// beyond it take the asymptotic branch.
+	TableTMax = tableTMax
+	// TableStep is the grid spacing of the table.
+	TableStep = tableStep
+	// TaylorTerms is the number of downward Taylor terms used off-grid.
+	TaylorTerms = taylorTerms
+)
+
+// TableRow returns the precomputed row F_k(i·TableStep), k = 0..
+// MaxOrder+TaylorTerms, for grid index i. The row is shared read-only
+// storage; callers must not modify it.
+func TableRow(i int) *[MaxOrder + taylorTerms + 1]float64 { return &table[i] }
+
+// TaylorCoeff returns the inverse factorial 1/k! used as the k-th Taylor
+// weight (k < TaylorTerms).
+func TaylorCoeff(k int) float64 { return invFact[k] }
+
 // F0 returns F_0(T) via the closed form ½√(π/T)·erf(√T); exact for
 // validation purposes.
 func F0(t float64) float64 {

@@ -1,0 +1,64 @@
+package hfx
+
+import (
+	"testing"
+
+	"hfxmd/internal/chem"
+	"hfxmd/internal/linalg"
+)
+
+// BenchmarkBuildJKPooled measures the steady-state Fock build on the
+// persistent pool. One warm-up build runs before the timer so lazily
+// sized scratch buffers reach their final capacity; after that every
+// BuildJK must reuse the pool's buffers — the benchmark's allocation
+// report (b.ReportAllocs) is the regression guard and must show
+// 0 allocs/op.
+func BenchmarkBuildJKPooled(b *testing.B) {
+	eng, scr := setup(b, chem.WaterCluster(4, 1), 1e-8)
+	p := testDensity(eng.Basis.NBasis, 1)
+	builder := NewBuilder(eng, scr, DefaultOptions())
+	defer builder.Close()
+	builder.BuildJK(p) // warm-up: size scratch, create timer phases
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder.BuildJK(p)
+	}
+}
+
+// BenchmarkBuildJKPooledDynamic is the same guard for the dynamic-queue
+// dispatch path.
+func BenchmarkBuildJKPooledDynamic(b *testing.B) {
+	eng, scr := setup(b, chem.WaterCluster(4, 1), 1e-8)
+	p := testDensity(eng.Basis.NBasis, 1)
+	opts := DefaultOptions()
+	opts.Dynamic = true
+	builder := NewBuilder(eng, scr, opts)
+	defer builder.Close()
+	builder.BuildJK(p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder.BuildJK(p)
+	}
+}
+
+// TestSteadyStateBuildAllocs is the in-suite form of the benchmark
+// guard: after one warm-up, repeated BuildJK calls must not allocate.
+func TestSteadyStateBuildAllocs(t *testing.T) {
+	eng, scr := setup(t, chem.WaterCluster(2, 1), 1e-8)
+	p := testDensity(eng.Basis.NBasis, 1)
+	builder := NewBuilder(eng, scr, DefaultOptions())
+	defer builder.Close()
+	builder.BuildJK(p)
+	var j, k *linalg.Matrix
+	allocs := testing.AllocsPerRun(10, func() {
+		j, k, _ = builder.BuildJK(p)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state BuildJK allocates %.1f objects per call, want 0", allocs)
+	}
+	if j == nil || k == nil {
+		t.Fatal("no result")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,7 +30,9 @@ type Options struct {
 	// DensityWeighted enables the P-weighted Schwarz quartet test, which
 	// tightens screening as SCF converges.
 	DensityWeighted bool
-	// Vector turns on the QPX-structured batched kernel.
+	// Vector turns on the QPX-structured batched kernel. The flag is
+	// scoped to this builder: two builders sharing one integrals.Engine
+	// may disagree on it without affecting each other.
 	Vector bool
 	// Dynamic replaces the static assignment with a shared work queue
 	// drained by the workers — the paper's work-stealing fallback for
@@ -74,8 +77,38 @@ type Report struct {
 	LaneUtilization  float64 // 0 when Vector is off
 	ScreeningStats   screen.Stats
 	TaskCostStats    sched.CostStats
-	// Timings charges wall-clock to the "compute" and "reduce" phases.
+	// Timings charges wall-clock to the per-build phases ("zero",
+	// "compute", "reduce"). The timer is owned by the builder's pool and
+	// is reset at the start of every BuildJK, so the snapshot is valid
+	// until the next build.
 	Timings *trace.Timer
+	// Metrics is the builder's lifetime metrics registry: buffer
+	// allocation counts and bytes, build and reuse counts, cumulative
+	// zeroing time, and the screening wall time. Counters persist across
+	// builds (only the Timer inside is per-build).
+	Metrics *trace.Registry
+	// Pool summarises the persistent worker pool's state.
+	Pool PoolStats
+}
+
+// PoolStats describes the persistent worker pool behind a Builder.
+type PoolStats struct {
+	// Workers is the number of persistent worker goroutines.
+	Workers int
+	// BuffersAllocated counts the long-lived buffers the pool owns
+	// (per-worker J/K accumulators and ERI blocks), all allocated once
+	// in NewBuilder.
+	BuffersAllocated int64
+	// BufferBytes is the total size of those buffers.
+	BufferBytes int64
+	// Builds is the number of BuildJK calls served so far.
+	Builds int64
+	// ReuseHits counts builds that reused the pool's buffers (every
+	// build after the first).
+	ReuseHits int64
+	// ZeroTime is the cumulative CPU time workers spent zeroing their
+	// accumulators across all builds (summed over workers).
+	ZeroTime time.Duration
 }
 
 // String renders a one-line summary.
@@ -84,20 +117,90 @@ func (r Report) String() string {
 		r.NTasks, r.QuartetsComputed, r.QuartetsScreened, r.BalanceRatio, r.Wall, r.ReduceDepth, r.LaneUtilization)
 }
 
-// Builder evaluates Coulomb (J) and exchange (K) matrices with the
-// paper's task-parallel scheme. It is created once per geometry and
-// reused across SCF iterations; BuildJK is safe to call repeatedly but
-// not concurrently with itself.
-type Builder struct {
-	Eng   *integrals.Engine
-	Scr   *screen.Result
-	Opts  Options
-	tasks []Task
-	asn   *sched.Assignment
+// PhaseTable renders a per-phase accounting table: the wall-clock phases
+// of the build followed by the pool's lifetime counters.
+func (r Report) PhaseTable() string {
+	var sb strings.Builder
+	if r.Timings != nil {
+		fmt.Fprintf(&sb, "  %-22s %14s\n", "phase", "time")
+		for _, p := range r.Timings.Phases() {
+			fmt.Fprintf(&sb, "  %-22s %14v\n", p.Name, p.D)
+		}
+	}
+	if r.Metrics != nil {
+		fmt.Fprintf(&sb, "  %-22s %14s\n", "counter", "value")
+		for _, c := range r.Metrics.Counters() {
+			fmt.Fprintf(&sb, "  %-22s %14d\n", c.Name, c.Value)
+		}
+	}
+	return sb.String()
 }
 
-// NewBuilder prepares the task decomposition for the given engine and
-// screening result.
+// Builder evaluates Coulomb (J) and exchange (K) matrices with the
+// paper's task-parallel scheme. It is created once per geometry and
+// reused across SCF/MD iterations; BuildJK is safe to call repeatedly
+// but not concurrently with itself.
+//
+// The builder owns a persistent worker pool: worker goroutines, their
+// J/K accumulation matrices, ERI scratch and dispatch order are all
+// allocated once in NewBuilder and reused (zeroed, not reallocated) by
+// every BuildJK, so the steady-state build performs no heap allocation.
+// Call Close when done to stop the workers; a finalizer stops them if
+// the builder is garbage-collected without Close.
+type Builder struct {
+	Eng  *integrals.Engine
+	Scr  *screen.Result
+	Opts Options
+
+	pl        *pool
+	closeOnce sync.Once
+}
+
+// pool holds everything the persistent workers touch. The workers
+// reference the pool, not the Builder, so an abandoned Builder can still
+// be collected and its finalizer can shut the workers down.
+type pool struct {
+	eng       *integrals.Engine
+	scr       *screen.Result
+	opts      Options
+	tasks     []Task
+	costs     []float64
+	asn       *sched.Assignment
+	costStats sched.CostStats
+	// order is the dynamic-dispatch order (descending cost), computed
+	// once; nil when Dynamic is off.
+	order []int
+
+	nw      int
+	jBufs   []*linalg.Matrix
+	kBufs   []*linalg.Matrix
+	eriBufs [][]float64
+	scratch []*integrals.Scratch
+	reg     *trace.Registry
+
+	// Per-build state, written by the coordinator before workers are
+	// woken (the wake-channel send establishes the happens-before edge).
+	p        *linalg.Matrix
+	stats    *qpx.Stats // points at qstats when Vector, else nil
+	qstats   qpx.Stats
+	computed atomic.Int64
+	screened atomic.Int64
+	next     atomic.Int64
+	phase    int
+	stride   int
+
+	wake []chan struct{}
+	done sync.WaitGroup
+	quit chan struct{}
+}
+
+const (
+	phaseCompute = iota
+	phaseReduce
+)
+
+// NewBuilder prepares the task decomposition, allocates the per-worker
+// buffers and starts the persistent worker pool.
 func NewBuilder(eng *integrals.Engine, scr *screen.Result, opts Options) *Builder {
 	if opts.Threads <= 0 {
 		opts.Threads = runtime.GOMAXPROCS(0)
@@ -105,121 +208,223 @@ func NewBuilder(eng *integrals.Engine, scr *screen.Result, opts Options) *Builde
 	if opts.Cost == (CostModel{}) {
 		opts.Cost = DefaultCostModel()
 	}
-	eng.Vector = opts.Vector
 	b := &Builder{Eng: eng, Scr: scr, Opts: opts}
-	b.tasks = GenerateTasks(eng.Basis, scr.Pairs, opts.Cost, opts.Granule)
-	b.asn = sched.Balance(opts.Balancer, TaskCosts(b.tasks), opts.Threads)
+
+	pl := &pool{eng: eng, scr: scr, opts: opts, reg: trace.NewRegistry()}
+	pl.tasks = GenerateTasks(eng.Basis, scr.Pairs, opts.Cost, opts.Granule)
+	pl.costs = TaskCosts(pl.tasks)
+	pl.asn = sched.Balance(opts.Balancer, pl.costs, opts.Threads)
+	pl.costStats = sched.Summarize(pl.costs)
+	if opts.Dynamic {
+		pl.order = make([]int, len(pl.tasks))
+		for i := range pl.order {
+			pl.order[i] = i
+		}
+		sort.Slice(pl.order, func(x, y int) bool {
+			return pl.tasks[pl.order[x]].Cost > pl.tasks[pl.order[y]].Cost
+		})
+	}
+
+	nw := pl.asn.NWorkers()
+	pl.nw = nw
+	n := eng.Basis.NBasis
+	pl.jBufs = make([]*linalg.Matrix, nw)
+	pl.kBufs = make([]*linalg.Matrix, nw)
+	pl.eriBufs = make([][]float64, nw)
+	pl.scratch = make([]*integrals.Scratch, nw)
+	buflen := eng.MaxERIBufLen()
+	for w := 0; w < nw; w++ {
+		pl.jBufs[w] = linalg.NewSquare(n)
+		pl.kBufs[w] = linalg.NewSquare(n)
+		pl.eriBufs[w] = make([]float64, buflen)
+		pl.scratch[w] = integrals.NewScratch()
+	}
+	if opts.Vector {
+		pl.stats = &pl.qstats
+	}
+
+	// Pre-create every counter the hot path touches so steady-state
+	// lookups never insert into the registry map.
+	pl.reg.Counter("pool.buffers_alloc").Add(int64(3 * nw))
+	pl.reg.Counter("pool.buffer_bytes").Add(int64(nw * (2*n*n + buflen) * 8))
+	pl.reg.Counter("pool.builds")
+	pl.reg.Counter("pool.reuse_hits")
+	pl.reg.Counter("pool.zero_ns")
+	pl.reg.Counter("screen.wall_ns").Add(scr.Stats.Wall().Nanoseconds())
+
+	pl.wake = make([]chan struct{}, nw)
+	pl.quit = make(chan struct{})
+	for w := 0; w < nw; w++ {
+		pl.wake[w] = make(chan struct{}, 1)
+		go pl.worker(w)
+	}
+
+	b.pl = pl
+	runtime.SetFinalizer(b, (*Builder).Close)
 	return b
+}
+
+// Close stops the persistent worker pool. It is idempotent and must not
+// be called concurrently with BuildJK. A finalizer calls Close if the
+// builder is collected without it, so forgetting Close leaks nothing
+// permanently — but calling it promptly releases the goroutines sooner.
+func (b *Builder) Close() {
+	b.closeOnce.Do(func() { close(b.pl.quit) })
+	runtime.SetFinalizer(b, nil)
 }
 
 // Tasks exposes the generated task list (read-only) for the machine
 // simulator.
-func (b *Builder) Tasks() []Task { return b.tasks }
+func (b *Builder) Tasks() []Task { return b.pl.tasks }
 
 // Assignment exposes the static schedule (read-only).
-func (b *Builder) Assignment() *sched.Assignment { return b.asn }
+func (b *Builder) Assignment() *sched.Assignment { return b.pl.asn }
+
+// worker is the persistent loop of one pool worker. It sleeps on its
+// wake channel, executes the phase the coordinator selected, and
+// signals completion through the pool WaitGroup.
+func (pl *pool) worker(w int) {
+	for {
+		select {
+		case <-pl.quit:
+			return
+		case <-pl.wake[w]:
+		}
+		switch pl.phase {
+		case phaseCompute:
+			pl.compute(w)
+		case phaseReduce:
+			pl.reduce(w)
+		}
+		pl.done.Done()
+	}
+}
+
+// broadcast wakes every worker for the current phase and waits for all
+// of them to finish it.
+func (pl *pool) broadcast() {
+	pl.done.Add(pl.nw)
+	for w := 0; w < pl.nw; w++ {
+		pl.wake[w] <- struct{}{}
+	}
+	pl.done.Wait()
+}
+
+// compute zeroes this worker's accumulators and runs its share of the
+// task list — the static assignment, or the shared cost-ordered queue
+// when Dynamic is on.
+func (pl *pool) compute(w int) {
+	t0 := time.Now()
+	pl.jBufs[w].Zero()
+	pl.kBufs[w].Zero()
+	dz := time.Since(t0)
+	pl.reg.Counter("pool.zero_ns").Add(dz.Nanoseconds())
+	pl.reg.Timer.Charge("zero", dz)
+
+	jw, kw := pl.jBufs[w], pl.kBufs[w]
+	buf := pl.eriBufs[w]
+	sc := pl.scratch[w]
+	if pl.order != nil {
+		for {
+			i := int(pl.next.Add(1)) - 1
+			if i >= len(pl.order) {
+				return
+			}
+			pl.runTask(&pl.tasks[pl.order[i]], jw, kw, buf, sc)
+		}
+	}
+	for _, ti := range pl.asn.Workers[w] {
+		pl.runTask(&pl.tasks[ti], jw, kw, buf, sc)
+	}
+}
+
+// reduce performs this worker's merge step of the pairwise reduction
+// tree at the coordinator-set stride: worker w absorbs worker w+stride
+// when w is a tree parent at this level.
+func (pl *pool) reduce(w int) {
+	s := pl.stride
+	if w%(2*s) == 0 && w+s < pl.nw {
+		pl.jBufs[w].AXPY(1, pl.jBufs[w+s])
+		pl.kBufs[w].AXPY(1, pl.kBufs[w+s])
+	}
+}
 
 // BuildJK computes the Coulomb and exchange matrices for density P:
 //
 //	J[μν] = Σ_{λσ} P[λσ] (μν|λσ),   K[μν] = Σ_{λσ} P[λσ] (μλ|νσ).
 //
 // Both are assembled in one pass over the screened canonical quartets.
+//
+// The returned matrices alias the pool's persistent accumulators: they
+// are valid until the next BuildJK on this builder, which overwrites
+// them. Callers that need both an old and a new result simultaneously
+// must copy (linalg.Matrix.Clone or CopyFrom) before rebuilding.
 func (b *Builder) BuildJK(p *linalg.Matrix) (j, k *linalg.Matrix, rep Report) {
-	n := b.Eng.Basis.NBasis
+	pl := b.pl
+	n := pl.eng.Basis.NBasis
 	if p.Rows != n || p.Cols != n {
 		panic("hfx: density dimension mismatch")
 	}
 	start := time.Now()
-	nw := b.asn.NWorkers()
-	jBufs := make([]*linalg.Matrix, nw)
-	kBufs := make([]*linalg.Matrix, nw)
-	var computed, screened atomic.Int64
-	var stats qpx.Stats
-	timings := trace.NewTimer()
+	pl.reg.Timer.Reset()
+	builds := pl.reg.Counter("pool.builds")
+	builds.Add(1)
+	if builds.Value() > 1 {
+		pl.reg.Counter("pool.reuse_hits").Add(1)
+	}
+	pl.p = p
+	pl.computed.Store(0)
+	pl.screened.Store(0)
+	pl.next.Store(0)
+	pl.qstats.Reset()
 
-	timings.Phase("compute", func() {
-		var queue chan int
-		if b.Opts.Dynamic {
-			// Shared-queue dispatch in descending cost order (LPT order):
-			// heaviest tasks first minimises the tail.
-			queue = make(chan int, len(b.tasks))
-			order := make([]int, len(b.tasks))
-			for i := range order {
-				order[i] = i
-			}
-			sort.Slice(order, func(x, y int) bool {
-				return b.tasks[order[x]].Cost > b.tasks[order[y]].Cost
-			})
-			for _, ti := range order {
-				queue <- ti
-			}
-			close(queue)
-		}
-		var wg sync.WaitGroup
-		for w := 0; w < nw; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				jw := linalg.NewSquare(n)
-				kw := linalg.NewSquare(n)
-				jBufs[w], kBufs[w] = jw, kw
-				buf := make([]float64, b.Eng.MaxERIBufLen())
-				var st *qpx.Stats
-				if b.Opts.Vector {
-					st = &stats
-				}
-				if queue != nil {
-					for ti := range queue {
-						b.runTask(&b.tasks[ti], p, jw, kw, buf, st, &computed, &screened)
-					}
-					return
-				}
-				for _, ti := range b.asn.Workers[w] {
-					t := &b.tasks[ti]
-					b.runTask(t, p, jw, kw, buf, st, &computed, &screened)
-				}
-			}(w)
-		}
-		wg.Wait()
-	})
+	pl.phase = phaseCompute
+	t0 := time.Now()
+	pl.broadcast()
+	pl.reg.Timer.Charge("compute", time.Since(t0))
 
 	// Hierarchical pairwise reduction (binary tree), mirroring the
-	// machine-scale K allreduce over the torus.
+	// machine-scale K allreduce over the torus. The same persistent
+	// workers execute the merge steps.
 	depth := 0
-	timings.Phase("reduce", func() {
-		for stride := 1; stride < nw; stride *= 2 {
-			depth++
-			var rwg sync.WaitGroup
-			for lo := 0; lo+stride < nw; lo += 2 * stride {
-				rwg.Add(1)
-				go func(dst, src int) {
-					defer rwg.Done()
-					jBufs[dst].AXPY(1, jBufs[src])
-					kBufs[dst].AXPY(1, kBufs[src])
-				}(lo, lo+stride)
-			}
-			rwg.Wait()
-		}
-	})
-	j, k = jBufs[0], kBufs[0]
-	if nw == 1 {
-		depth = 0
+	t0 = time.Now()
+	for stride := 1; stride < pl.nw; stride *= 2 {
+		depth++
+		pl.phase = phaseReduce
+		pl.stride = stride
+		pl.broadcast()
 	}
+	pl.reg.Timer.Charge("reduce", time.Since(t0))
+	pl.p = nil
 
+	j, k = pl.jBufs[0], pl.kBufs[0]
 	rep = Report{
-		NTasks:           len(b.tasks),
-		QuartetsComputed: computed.Load(),
-		QuartetsScreened: screened.Load(),
-		BalanceRatio:     b.asn.BalanceRatio(),
-		TheoreticalEff:   b.asn.TheoreticalEfficiency(),
+		NTasks:           len(pl.tasks),
+		QuartetsComputed: pl.computed.Load(),
+		QuartetsScreened: pl.screened.Load(),
+		BalanceRatio:     pl.asn.BalanceRatio(),
+		TheoreticalEff:   pl.asn.TheoreticalEfficiency(),
 		Wall:             time.Since(start),
 		ReduceDepth:      depth,
-		ScreeningStats:   b.Scr.Stats,
-		TaskCostStats:    sched.Summarize(TaskCosts(b.tasks)),
+		ScreeningStats:   pl.scr.Stats,
+		TaskCostStats:    pl.costStats,
+		Timings:          pl.reg.Timer,
+		Metrics:          pl.reg,
+		Pool: PoolStats{
+			Workers:          pl.nw,
+			BuffersAllocated: pl.reg.Counter("pool.buffers_alloc").Value(),
+			BufferBytes:      pl.reg.Counter("pool.buffer_bytes").Value(),
+			Builds:           builds.Value(),
+			ReuseHits:        pl.reg.Counter("pool.reuse_hits").Value(),
+			ZeroTime:         time.Duration(pl.reg.Counter("pool.zero_ns").Value()),
+		},
 	}
-	if b.Opts.Vector {
-		rep.LaneUtilization = stats.Utilization()
+	if pl.opts.Vector {
+		rep.LaneUtilization = pl.qstats.Utilization()
 	}
+	// Keep the builder (and thus its finalizer) from being collected
+	// while a build is mid-flight on the pool it owns.
+	runtime.KeepAlive(b)
 	return j, k, rep
 }
 
@@ -240,13 +445,13 @@ var eriPerms = [8][4]int{
 // runTask executes one task: loops its quartets, applies the quartet-level
 // screen, evaluates surviving blocks, and scatters them into the private
 // J/K buffers via the distinct permutation images.
-func (b *Builder) runTask(t *Task, p, jw, kw *linalg.Matrix, buf []float64,
-	st *qpx.Stats, computed, screened *atomic.Int64) {
-	set := b.Eng.Basis
-	bra := b.Scr.Pairs[t.Bra]
+func (pl *pool) runTask(t *Task, jw, kw *linalg.Matrix, buf []float64, sc *integrals.Scratch) {
+	set := pl.eng.Basis
+	p := pl.p
+	bra := pl.scr.Pairs[t.Bra]
 	for ji := t.KetLo; ji < t.KetHi; ji++ {
-		ket := b.Scr.Pairs[ji]
-		if b.Opts.DensityWeighted {
+		ket := pl.scr.Pairs[ji]
+		if pl.opts.DensityWeighted {
 			pmax := screen.MaxDensityAbs(set, p, bra.A, bra.B, ket.A, ket.B)
 			// Both the J and K contractions multiply the integral by a
 			// density element; bound with the larger of the coupling
@@ -255,23 +460,25 @@ func (b *Builder) runTask(t *Task, p, jw, kw *linalg.Matrix, buf []float64,
 			if pj > pmax {
 				pmax = pj
 			}
-			if !b.Scr.QuartetSurvivesWeighted(bra, ket, pmax) {
-				screened.Add(1)
+			if !pl.scr.QuartetSurvivesWeighted(bra, ket, pmax) {
+				pl.screened.Add(1)
 				continue
 			}
-		} else if !b.Scr.QuartetSurvives(bra, ket) {
-			screened.Add(1)
+		} else if !pl.scr.QuartetSurvives(bra, ket) {
+			pl.screened.Add(1)
 			continue
 		}
-		computed.Add(1)
-		scatterQuartet(b.Eng, bra.A, bra.B, ket.A, ket.B, p, jw, kw, buf, st)
+		pl.computed.Add(1)
+		scatterQuartet(pl.eng, bra.A, bra.B, ket.A, ket.B, p, jw, kw, buf,
+			pl.opts.Vector, pl.stats, sc)
 	}
 }
 
 // scatterQuartet evaluates (ab|cd) once and adds its contributions to J
 // and K for every distinct permutation image.
 func scatterQuartet(eng *integrals.Engine, a, b, c, d int,
-	p, jw, kw *linalg.Matrix, buf []float64, st *qpx.Stats) {
+	p, jw, kw *linalg.Matrix, buf []float64,
+	vector bool, st *qpx.Stats, sc *integrals.Scratch) {
 	set := eng.Basis
 	shells := [4]int{a, b, c, d}
 	var ns [4]int
@@ -282,7 +489,7 @@ func scatterQuartet(eng *integrals.Engine, a, b, c, d int,
 		offs[s] = shp.Index
 	}
 	blk := buf[:ns[0]*ns[1]*ns[2]*ns[3]]
-	eng.ERIShell(a, b, c, d, blk, st)
+	eng.ERIShellScratch(a, b, c, d, blk, vector, st, sc)
 
 	// Distinct images of the shell tuple under the 8 permutations.
 	var images [8][4]int

@@ -3,6 +3,7 @@ package hfx
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"hfxmd/internal/basis"
@@ -326,13 +327,141 @@ func TestDynamicExecutionMatchesStatic(t *testing.T) {
 	dyn.Dynamic = true
 	jd, kd, rep := NewBuilder(engD, scr, dyn).BuildJK(p)
 
-	if d := linalg.MaxAbsDiff(js, jd); d > 1e-10 {
+	if d := linalg.MaxAbsDiff(js, jd); d > 1e-12 {
 		t.Fatalf("dynamic J differs by %g", d)
 	}
-	if d := linalg.MaxAbsDiff(ks, kd); d > 1e-10 {
+	if d := linalg.MaxAbsDiff(ks, kd); d > 1e-12 {
 		t.Fatalf("dynamic K differs by %g", d)
 	}
 	if rep.QuartetsComputed == 0 {
 		t.Fatal("dynamic run computed nothing")
+	}
+}
+
+// TestSharedEngineBuilders creates two builders with opposite Vector
+// settings on the SAME engine: the kernel selection must be scoped to
+// each builder, and the engine's own flag must be left alone.
+func TestSharedEngineBuilders(t *testing.T) {
+	eng, scr := setup(t, chem.Water(), 1e-14)
+	p := testDensity(eng.Basis.NBasis, 31)
+
+	optsV := DefaultOptions()
+	optsV.Threads = 2
+	optsV.DensityWeighted = false
+	optsS := optsV
+	optsS.Vector = false
+
+	bv := NewBuilder(eng, scr, optsV)
+	bs := NewBuilder(eng, scr, optsS)
+	defer bv.Close()
+	defer bs.Close()
+	if eng.Vector {
+		t.Fatal("NewBuilder mutated the shared engine's Vector flag")
+	}
+
+	jv, kv, repV := bv.BuildJK(p)
+	jr, kr := ReferenceJK(eng, p)
+	if d := linalg.MaxAbsDiff(jv, jr); d > 1e-10 {
+		t.Fatalf("vector builder J differs from reference by %g", d)
+	}
+	if repV.LaneUtilization <= 0 {
+		t.Fatal("vector builder reported no lane utilisation")
+	}
+	js, ks, repS := bs.BuildJK(p)
+	if repS.LaneUtilization != 0 {
+		t.Fatal("scalar builder reported lane utilisation")
+	}
+	if d := linalg.MaxAbsDiff(js, jr); d > 1e-10 {
+		t.Fatalf("scalar builder J differs from reference by %g", d)
+	}
+	if d := linalg.MaxAbsDiff(kv, kr); d > 1e-10 {
+		t.Fatalf("vector builder K differs from reference by %g", d)
+	}
+	if d := linalg.MaxAbsDiff(ks, kr); d > 1e-10 {
+		t.Fatalf("scalar builder K differs from reference by %g", d)
+	}
+}
+
+// TestPooledRepeatMatchesFresh rebuilds with the same persistent pool
+// across several densities and checks each result against a one-shot
+// fresh builder — the pooled buffers must be indistinguishable from
+// freshly allocated ones.
+func TestPooledRepeatMatchesFresh(t *testing.T) {
+	eng, scr := setup(t, chem.WaterCluster(2, 3), 1e-12)
+	opts := DefaultOptions()
+	opts.Threads = 3
+	pooled := NewBuilder(eng, scr, opts)
+	defer pooled.Close()
+	for it, seed := range []int64{11, 12, 13, 11} {
+		p := testDensity(eng.Basis.NBasis, seed)
+		j, k, rep := pooled.BuildJK(p)
+		fresh := NewBuilder(eng, scr, opts)
+		jf, kf, _ := fresh.BuildJK(p)
+		fresh.Close()
+		if d := linalg.MaxAbsDiff(j, jf); d > 1e-13 {
+			t.Fatalf("build %d: pooled J differs from fresh by %g", it, d)
+		}
+		if d := linalg.MaxAbsDiff(k, kf); d > 1e-13 {
+			t.Fatalf("build %d: pooled K differs from fresh by %g", it, d)
+		}
+		if rep.Pool.Builds != int64(it+1) {
+			t.Fatalf("build %d: pool reports %d builds", it, rep.Pool.Builds)
+		}
+		if rep.Pool.ReuseHits != int64(it) {
+			t.Fatalf("build %d: pool reports %d reuse hits", it, rep.Pool.ReuseHits)
+		}
+	}
+}
+
+// TestPooledDynamicRepeatIsStable exercises the persistent pool with the
+// dynamic queue: repeated builds with the same density must agree with
+// the first to roundoff, whatever worker claimed which task.
+func TestPooledDynamicRepeatIsStable(t *testing.T) {
+	eng, scr := setup(t, chem.WaterCluster(2, 5), 1e-12)
+	opts := DefaultOptions()
+	opts.Threads = 4
+	opts.Dynamic = true
+	b := NewBuilder(eng, scr, opts)
+	defer b.Close()
+	p := testDensity(eng.Basis.NBasis, 41)
+	j0, k0, _ := b.BuildJK(p)
+	j0, k0 = j0.Clone(), k0.Clone() // results alias pool buffers
+	for i := 0; i < 3; i++ {
+		j, k, _ := b.BuildJK(p)
+		if d := linalg.MaxAbsDiff(j, j0); d > 1e-12 {
+			t.Fatalf("rebuild %d: dynamic J drifted by %g", i, d)
+		}
+		if d := linalg.MaxAbsDiff(k, k0); d > 1e-12 {
+			t.Fatalf("rebuild %d: dynamic K drifted by %g", i, d)
+		}
+	}
+}
+
+func TestBuilderCloseIdempotent(t *testing.T) {
+	eng, scr := setup(t, chem.Water(), 1e-12)
+	b := NewBuilder(eng, scr, Options{Threads: 2})
+	p := testDensity(eng.Basis.NBasis, 7)
+	b.BuildJK(p)
+	b.Close()
+	b.Close() // must not panic
+}
+
+func TestReportPhaseTable(t *testing.T) {
+	eng, scr := setup(t, chem.Water(), 1e-10)
+	p := testDensity(eng.Basis.NBasis, 21)
+	b := NewBuilder(eng, scr, Options{Threads: 2})
+	defer b.Close()
+	_, _, rep := b.BuildJK(p)
+	tbl := rep.PhaseTable()
+	for _, want := range []string{"compute", "pool.builds", "pool.buffer_bytes", "screen.wall_ns"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("phase table missing %q:\n%s", want, tbl)
+		}
+	}
+	if rep.Pool.Workers != 2 || rep.Pool.BuffersAllocated == 0 || rep.Pool.BufferBytes == 0 {
+		t.Fatalf("pool stats not populated: %+v", rep.Pool)
+	}
+	if rep.Metrics == nil || rep.Timings == nil {
+		t.Fatal("report missing metrics registry or timer")
 	}
 }

@@ -2,7 +2,9 @@ package integrals
 
 import (
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"hfxmd/internal/basis"
 	"hfxmd/internal/boys"
@@ -76,43 +78,70 @@ func buildPairData(sa, sb *basis.Shell) []pairData {
 	return pairs
 }
 
-// eriScratch is the per-call working set of the ERI kernel, pooled to
-// keep the hot loop allocation-free.
-type eriScratch struct {
+// Scratch is the reusable working set of the ERI kernel. A Scratch is
+// not safe for concurrent use; give each worker goroutine its own (via
+// NewScratch) and reuse it across quartets and SCF iterations — after a
+// warm-up build its buffers stop growing and the hot loop performs no
+// heap allocations.
+type Scratch struct {
 	fn       []float64
 	fnBatch  []qpx.Vec4
 	rsc      rScratch
 	braList  []hermTerm
 	ketLists [][]hermTerm
+	jobs     []primJob
 }
 
-var eriPool = sync.Pool{New: func() any {
-	return &eriScratch{
+// NewScratch returns a ready-to-use ERI scratch.
+func NewScratch() *Scratch {
+	return &Scratch{
 		fn:      make([]float64, boys.MaxOrder+1),
 		fnBatch: make([]qpx.Vec4, boys.MaxOrder+1),
 	}
-}}
+}
+
+// init sizes the fixed buffers of a zero-value Scratch.
+func (s *Scratch) init() {
+	if s.fn == nil {
+		s.fn = make([]float64, boys.MaxOrder+1)
+		s.fnBatch = make([]qpx.Vec4, boys.MaxOrder+1)
+	}
+}
+
+var eriPool = sync.Pool{New: func() any { return NewScratch() }}
 
 // ERIShell computes the full quartet block (ab|cd) for four shells and
 // writes it into out in row-major order [na][nb][nc][nd]. out must have
 // length na·nb·nc·nd. The optional stats record QPX lane utilisation when
 // the engine's Vector mode is on.
 func (e *Engine) ERIShell(a, b, c, d int, out []float64, stats *qpx.Stats) {
+	scratch := eriPool.Get().(*Scratch)
+	e.ERIShellScratch(a, b, c, d, out, e.Vector, stats, scratch)
+	eriPool.Put(scratch)
+}
+
+// ERIShellScratch is ERIShell with the kernel selection and working set
+// scoped to the caller: vector picks the QPX-batched kernel regardless of
+// the engine-wide Vector flag, and scratch supplies the reusable buffers.
+// This is the entry point for persistent worker pools (package hfx) —
+// two pools sharing one engine can select different kernels without
+// stomping each other, and a per-worker scratch keeps the steady state
+// allocation-free.
+func (e *Engine) ERIShellScratch(a, b, c, d int, out []float64, vector bool, stats *qpx.Stats, scratch *Scratch) {
 	sa := &e.Basis.Shells[a]
 	sb := &e.Basis.Shells[b]
 	sc := &e.Basis.Shells[c]
 	sd := &e.Basis.Shells[d]
 	bra := e.pairDataFor(a, b)
 	ket := e.pairDataFor(c, d)
-	scratch := eriPool.Get().(*eriScratch)
-	eriQuartet(sa, sb, sc, sd, bra, ket, out, e.Vector, stats, scratch)
-	eriPool.Put(scratch)
+	scratch.init()
+	eriQuartet(sa, sb, sc, sd, bra, ket, out, vector, stats, scratch)
 }
 
 // eriQuartet is the contraction kernel shared by the engine and the
 // Schwarz bound computation.
 func eriQuartet(sa, sb, sc, sd *basis.Shell, bra, ket []pairData,
-	out []float64, vector bool, stats *qpx.Stats, scratch *eriScratch) {
+	out []float64, vector bool, stats *qpx.Stats, scratch *Scratch) {
 	na, nb, nc, nd := sa.NFuncs(), sb.NFuncs(), sc.NFuncs(), sd.NFuncs()
 	for i := range out[:na*nb*nc*nd] {
 		out[i] = 0
@@ -211,7 +240,7 @@ func hermList(dst []hermTerm, pd *pairData, cA, cB CartComponent, scale float64,
 // pairs are materialised once and reused across every bra component pair,
 // which removes the dominant redundant eTable traffic.
 func accumulateQuartet(ca, cb, cc, cd []CartComponent, bp, kp pairData,
-	rt *rTensor, pref float64, nb, nc, nd int, out []float64, scratch *eriScratch) {
+	rt *rTensor, pref float64, nb, nc, nd int, out []float64, scratch *Scratch) {
 	nKet := len(cc) * len(cd)
 	for len(scratch.ketLists) < nKet {
 		scratch.ketLists = append(scratch.ketLists, nil)
@@ -250,25 +279,29 @@ func accumulateQuartet(ca, cb, cc, cd []CartComponent, bp, kp pairData,
 	}
 }
 
+// primJob is one gathered primitive bra×ket combination of the vector
+// kernel; the job list lives in Scratch so the gather is allocation-free
+// in steady state.
+type primJob struct {
+	bp, kp *pairData
+	alpha  float64
+	pq     [3]float64
+	pref   float64
+}
+
 // eriQuartetVector is the QPX-structured kernel: primitive bra×ket
 // combinations are gathered four at a time, their Boys arguments evaluated
 // lane-parallel, and the Hermite assembly then proceeds per quartet. The
 // final partial batch records reduced lane utilisation, reproducing the
 // paper's vector-efficiency accounting.
 func eriQuartetVector(sa, sb, sc, sd *basis.Shell, bra, ket []pairData,
-	out []float64, stats *qpx.Stats, scratch *eriScratch) {
+	out []float64, stats *qpx.Stats, scratch *Scratch) {
 	nb, nc, nd := sb.NFuncs(), sc.NFuncs(), sd.NFuncs()
 	ltot := sa.L + sb.L + sc.L + sd.L
 	ca, cb := Components(sa.L), Components(sb.L)
 	cc, cd := Components(sc.L), Components(sd.L)
 
-	type primJob struct {
-		bp, kp *pairData
-		alpha  float64
-		pq     [3]float64
-		pref   float64
-	}
-	jobs := make([]primJob, 0, len(bra)*len(ket))
+	jobs := scratch.jobs[:0]
 	for i := range bra {
 		for j := range ket {
 			bp, kp := &bra[i], &ket[j]
@@ -284,6 +317,7 @@ func eriQuartetVector(sa, sb, sc, sd *basis.Shell, bra, ket []pairData,
 			})
 		}
 	}
+	scratch.jobs = jobs // keep any growth for reuse
 
 	fnBatch := scratch.fnBatch[:ltot+1]
 	fn := scratch.fn[:ltot+1]
@@ -319,39 +353,70 @@ func eriQuartetVector(sa, sb, sc, sd *basis.Shell, bra, ket []pairData,
 //	Q[ab] = √( max_{μ∈a,ν∈b} (μν|μν) ),
 //
 // the rigorous upper-bound factors |(μν|λσ)| ≤ Q[ab]·Q[cd] that drive the
-// paper's controllable-accuracy screening.
+// paper's controllable-accuracy screening. It parallelises over shell
+// rows with GOMAXPROCS workers; use SchwarzMatrixThreads to control the
+// worker count.
 func (e *Engine) SchwarzMatrix() *linalg.Matrix {
+	return e.SchwarzMatrixThreads(0)
+}
+
+// SchwarzMatrixThreads computes the Schwarz matrix with the given number
+// of worker goroutines (the same convention as hfx.Options.Threads: zero
+// or negative means GOMAXPROCS). Rows are dispatched dynamically because
+// row a carries NShells−a pairs — a static block split would be badly
+// imbalanced. Every (a,b) entry is computed independently, so the result
+// is deterministic regardless of the worker count.
+func (e *Engine) SchwarzMatrixThreads(threads int) *linalg.Matrix {
 	ns := e.Basis.NShells()
 	q := linalg.NewSquare(ns)
-	var buf []float64
-	scratch := eriPool.Get().(*eriScratch)
-	defer eriPool.Put(scratch)
-	for a := 0; a < ns; a++ {
-		sa := &e.Basis.Shells[a]
-		for b := a; b < ns; b++ {
-			sb := &e.Basis.Shells[b]
-			na, nb := sa.NFuncs(), sb.NFuncs()
-			need := na * nb * na * nb
-			if cap(buf) < need {
-				buf = make([]float64, need)
-			}
-			blk := buf[:need]
-			pd := e.pairDataFor(a, b)
-			eriQuartet(sa, sb, sa, sb, pd, pd, blk, false, nil, scratch)
-			var m float64
-			for i := 0; i < na; i++ {
-				for j := 0; j < nb; j++ {
-					v := blk[((i*nb+j)*na+i)*nb+j] // (ij|ij)
-					if v > m {
-						m = v
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if threads > ns {
+		threads = max(ns, 1)
+	}
+	var nextRow atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []float64
+			scratch := eriPool.Get().(*Scratch)
+			defer eriPool.Put(scratch)
+			for {
+				a := int(nextRow.Add(1)) - 1
+				if a >= ns {
+					return
+				}
+				sa := &e.Basis.Shells[a]
+				for b := a; b < ns; b++ {
+					sb := &e.Basis.Shells[b]
+					na, nb := sa.NFuncs(), sb.NFuncs()
+					need := na * nb * na * nb
+					if cap(buf) < need {
+						buf = make([]float64, need)
 					}
+					blk := buf[:need]
+					pd := e.pairDataFor(a, b)
+					eriQuartet(sa, sb, sa, sb, pd, pd, blk, false, nil, scratch)
+					var m float64
+					for i := 0; i < na; i++ {
+						for j := 0; j < nb; j++ {
+							v := blk[((i*nb+j)*na+i)*nb+j] // (ij|ij)
+							if v > m {
+								m = v
+							}
+						}
+					}
+					val := math.Sqrt(math.Max(m, 0))
+					q.Set(a, b, val)
+					q.Set(b, a, val)
 				}
 			}
-			val := math.Sqrt(math.Max(m, 0))
-			q.Set(a, b, val)
-			q.Set(b, a, val)
-		}
+		}()
 	}
+	wg.Wait()
 	return q
 }
 

@@ -97,12 +97,15 @@ func (a Vec4) Max(b Vec4) Vec4 {
 // This is the vectorised hot kernel: the table lookup and Taylor expansion
 // are performed lane-parallel, mirroring the QPX implementation.
 func BoysBatch(m int, t Vec4, out []Vec4) {
+	if m > boys.MaxOrder {
+		panic("qpx: order exceeds boys.MaxOrder")
+	}
 	// Lane-parallel fast path is only uniform when all four T fall in the
 	// tabulated range; mixed batches take the scalar path per lane, which
 	// is exactly the lane-divergence penalty the real hardware pays.
 	uniform := true
 	for _, x := range t {
-		if x >= 36.0 || x < 0 {
+		if x >= boys.TableTMax || x < 0 {
 			uniform = false
 			break
 		}
@@ -117,12 +120,37 @@ func BoysBatch(m int, t Vec4, out []Vec4) {
 		}
 		return
 	}
-	var buf [boys.MaxOrder + 1]float64
-	for lane := 0; lane < Width; lane++ {
-		boys.Eval(m, t[lane], buf[:m+1])
-		for k := 0; k <= m; k++ {
-			out[k][lane] = buf[k]
+	// Uniform fast path: every lane lies in the tabulated range, so the
+	// nearest-grid-point lookup, the downward Taylor expansion of order m
+	// and the downward recursion to order 0 all proceed lane-parallel —
+	// the gather/SIMD/scatter structure of the QPX kernel. The per-lane
+	// arithmetic matches boys.Eval step for step.
+	var rows [Width]*[boys.MaxOrder + boys.TaylorTerms + 1]float64
+	var md Vec4 // −δ per lane
+	for lane, x := range t {
+		gi := int(x/boys.TableStep + 0.5)
+		rows[lane] = boys.TableRow(gi)
+		md[lane] = -(x - float64(gi)*boys.TableStep)
+	}
+	pow := Splat(1)
+	var fm Vec4
+	for k := 0; k < boys.TaylorTerms; k++ {
+		ck := boys.TaylorCoeff(k)
+		var rv Vec4
+		for lane := 0; lane < Width; lane++ {
+			rv[lane] = rows[lane][m+k]
 		}
+		fm = FMA(rv.Mul(pow), Splat(ck), fm)
+		pow = pow.Mul(md)
+	}
+	out[m] = fm
+	if m == 0 {
+		return
+	}
+	et := t.Scale(-1).Exp()
+	t2 := t.Add(t)
+	for k := m; k > 0; k-- {
+		out[k-1] = FMA(t2, out[k], et).Div(Splat(float64(2*k - 1)))
 	}
 }
 

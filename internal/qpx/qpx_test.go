@@ -107,6 +107,52 @@ func TestBoysBatchProperty(t *testing.T) {
 	}
 }
 
+// TestBoysBatchUniformFastPath drives the lane-parallel table/Taylor
+// branch specifically: every lane inside the tabulated range, across the
+// full span of supported orders and grid offsets, cross-checked against
+// the scalar boys.Eval to 1e-12 (the actual agreement is much tighter —
+// the lane arithmetic mirrors the scalar association step for step).
+func TestBoysBatchUniformFastPath(t *testing.T) {
+	out := make([]Vec4, boys.MaxOrder+1)
+	ref := make([]float64, boys.MaxOrder+1)
+	ts := []Vec4{
+		{0, 0.024, 0.025, 0.026},      // near grid points and midpoints
+		{0.3, 1.7, 8.9, 14.2},         // generic spread
+		{11.111, 22.222, 33.333, 3.5}, // large tabulated arguments
+		{35.94, 35.95, 35.96, 35.99},  // just below the table edge
+		{0.7, 0.7, 0.7, 0.7},          // identical lanes
+	}
+	for _, m := range []int{0, 1, 4, 8, boys.MaxOrder} {
+		for _, tv := range ts {
+			for _, x := range tv {
+				if x >= boys.TableTMax || x < 0 {
+					t.Fatalf("test vector %v leaves the tabulated range", tv)
+				}
+			}
+			BoysBatch(m, tv, out)
+			for lane := 0; lane < Width; lane++ {
+				boys.Eval(m, tv[lane], ref)
+				for k := 0; k <= m; k++ {
+					if d := math.Abs(out[k][lane] - ref[k]); d > 1e-12 {
+						t.Fatalf("m=%d T=%g lane=%d k=%d: batch %.16g scalar %.16g (diff %g)",
+							m, tv[lane], lane, k, out[k][lane], ref[k], d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBoysBatchOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for order beyond boys.MaxOrder")
+		}
+	}()
+	out := make([]Vec4, boys.MaxOrder+2)
+	BoysBatch(boys.MaxOrder+1, Splat(1), out)
+}
+
 func TestStats(t *testing.T) {
 	var s Stats
 	s.Record(4)

@@ -95,7 +95,12 @@ func (c *Config) fillDefaults() {
 	if c.RebuildEvery == 0 {
 		c.RebuildEvery = 8
 	}
-	if c.HFX.Balancer == 0 && c.HFX.Threads == 0 && !c.HFX.DensityWeighted {
+	// Only a fully zero HFX config means "unset". Comparing individual
+	// fields here used to misfire: hfx.BaselineOptions() has Balancer ==
+	// sched.Block (0), Threads == 0 and DensityWeighted == false, so an
+	// explicitly requested baseline was silently replaced by the
+	// production defaults.
+	if c.HFX == (hfx.Options{}) {
 		c.HFX = hfx.DefaultOptions()
 	}
 }
@@ -169,6 +174,7 @@ func Run(mol *chem.Molecule, cfg Config) (*Result, error) {
 
 	scr := screen.BuildPairList(eng, cfg.Screen)
 	builder := hfx.NewBuilder(eng, scr, cfg.HFX)
+	defer builder.Close()
 
 	var grid *dft.Grid
 	if cfg.Functional.NeedsGrid() {

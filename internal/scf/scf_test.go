@@ -236,6 +236,34 @@ func TestBaselineHFXOptionsGiveSameEnergy(t *testing.T) {
 	}
 }
 
+// TestBaselineHFXOptionsRespected guards against fillDefaults replacing
+// an explicitly requested configuration. hfx.BaselineOptions() happens
+// to have Balancer == sched.Block (0), Threads == 0 and DensityWeighted
+// == false, which the old field-by-field "is it unset?" test mistook for
+// the zero value — so a baseline run silently got the production options
+// (vector kernels on). Only the full zero value means "use defaults".
+func TestBaselineHFXOptionsRespected(t *testing.T) {
+	res, err := Run(chem.Water(), Config{HFX: hfx.BaselineOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("baseline SCF did not converge")
+	}
+	// The baseline has Vector off, so the report must show zero lane
+	// utilisation; the production defaults would report > 0.
+	if res.HFXReport.LaneUtilization != 0 {
+		t.Fatalf("baseline options were replaced by defaults: lane utilisation %g",
+			res.HFXReport.LaneUtilization)
+	}
+	// And the zero value must still mean "fill in the defaults".
+	var cfg Config
+	cfg.fillDefaults()
+	if cfg.HFX != hfx.DefaultOptions() {
+		t.Fatalf("zero HFX config not defaulted: %+v", cfg.HFX)
+	}
+}
+
 func TestLevelShiftStillConverges(t *testing.T) {
 	res, err := Run(chem.Water(), Config{LevelShift: 0.3})
 	if err != nil {

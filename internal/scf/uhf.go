@@ -84,6 +84,7 @@ func RunUnrestricted(mol *chem.Molecule, cfg Config, multiplicity int) (*Unrestr
 
 	scr := screen.BuildPairList(eng, cfg.Screen)
 	builder := hfx.NewBuilder(eng, scr, cfg.HFX)
+	defer builder.Close()
 
 	res := &UnrestrictedResult{
 		Set: set, NAlpha: na, NBeta: nb,
@@ -102,9 +103,16 @@ func RunUnrestricted(mol *chem.Molecule, cfg Config, multiplicity int) (*Unrestr
 	diisB := newDIIS(cfg.DIISDepth)
 	var ca, cb *linalg.Matrix
 	var lastE float64
+	// BuildJK returns matrices aliasing the builder's pooled buffers, so
+	// the alpha-channel result must be copied out before the beta build
+	// overwrites it.
+	ja := linalg.NewSquare(n)
+	ka := linalg.NewSquare(n)
 	for iter := 1; iter <= cfg.MaxIter; iter++ {
 		// J and K are linear in the density: two builds give everything.
-		ja, ka, _ := builder.BuildJK(pa)
+		jaP, kaP, _ := builder.BuildJK(pa)
+		ja.CopyFrom(jaP)
+		ka.CopyFrom(kaP)
 		jb, kb, _ := builder.BuildJK(pb)
 		jt := ja.Clone()
 		jt.AXPY(1, jb)

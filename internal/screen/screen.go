@@ -18,7 +18,11 @@ package screen
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"hfxmd/internal/basis"
 	"hfxmd/internal/integrals"
@@ -46,6 +50,11 @@ type Options struct {
 	ExtentEps float64
 	// NoDistance disables the real-space pre-screen (for ablation).
 	NoDistance bool
+	// Threads is the number of worker goroutines used for the Schwarz
+	// matrix and the pair sweep, following the hfx.Options.Threads
+	// convention: zero (or negative) means GOMAXPROCS. The result is
+	// identical for every worker count.
+	Threads int
 }
 
 // DefaultOptions matches the accuracy target used throughout the paper's
@@ -66,7 +75,7 @@ type Result struct {
 	Opts Options
 }
 
-// Stats quantifies screening effectiveness.
+// Stats quantifies screening effectiveness and cost.
 type Stats struct {
 	// TotalPairs is the number of unique shell pairs before screening.
 	TotalPairs int
@@ -74,7 +83,17 @@ type Stats struct {
 	DistanceSurvived int
 	// SchwarzSurvived is the final pair count.
 	SchwarzSurvived int
+	// SchwarzWall is the wall time spent building the Schwarz matrix.
+	SchwarzWall time.Duration
+	// PairWall is the wall time of the pair sweep (distance + Schwarz
+	// tests and the final sort).
+	PairWall time.Duration
+	// Threads is the worker count the pipeline actually used.
+	Threads int
 }
+
+// Wall returns the total screening wall time.
+func (s Stats) Wall() time.Duration { return s.SchwarzWall + s.PairWall }
 
 // String renders the screening statistics.
 func (s Stats) String() string {
@@ -83,13 +102,32 @@ func (s Stats) String() string {
 		100*float64(s.SchwarzSurvived)/math.Max(1, float64(s.TotalPairs)))
 }
 
-// BuildPairList runs the screening pipeline over a basis set.
+// BuildPairList runs the screening pipeline over a basis set. The Schwarz
+// matrix and the pair sweep are parallelised over shell rows across
+// opts.Threads workers (zero means GOMAXPROCS); rows are claimed
+// dynamically because row a carries ns−a candidate pairs, so static
+// striding would leave the worker holding the early rows far behind.
+// Per-row results are concatenated in row order before the final sort, so
+// the output is identical for every worker count.
 func BuildPairList(eng *integrals.Engine, opts Options) *Result {
 	set := eng.Basis
 	ns := set.NShells()
 	res := &Result{Opts: opts}
-	res.Q = eng.SchwarzMatrix()
 
+	nw := opts.Threads
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > ns && ns > 0 {
+		nw = ns
+	}
+	res.Stats.Threads = nw
+
+	start := time.Now()
+	res.Q = eng.SchwarzMatrixThreads(opts.Threads)
+	res.Stats.SchwarzWall = time.Since(start)
+
+	start = time.Now()
 	cell := set.Mol.Cell
 	dist := func(a, b *basis.Shell) float64 {
 		if cell != nil {
@@ -114,29 +152,56 @@ func BuildPairList(eng *integrals.Engine, opts Options) *Result {
 		}
 	}
 
-	for a := 0; a < ns; a++ {
-		sa := &set.Shells[a]
-		for b := a; b < ns; b++ {
-			sb := &set.Shells[b]
-			res.Stats.TotalPairs++
-			r := dist(sa, sb)
-			if !opts.NoDistance {
-				if r > sa.Extent(opts.ExtentEps)+sb.Extent(opts.ExtentEps) {
-					continue
+	rowPairs := make([][]Pair, ns)
+	var distSurvived, schwarzSurvived atomic.Int64
+	var nextRow atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				a := int(nextRow.Add(1)) - 1
+				if a >= ns {
+					return
 				}
+				sa := &set.Shells[a]
+				var ds, ss int64
+				for b := a; b < ns; b++ {
+					sb := &set.Shells[b]
+					r := dist(sa, sb)
+					if !opts.NoDistance {
+						if r > sa.Extent(opts.ExtentEps)+sb.Extent(opts.ExtentEps) {
+							continue
+						}
+					}
+					ds++
+					q := res.Q.At(a, b)
+					if q*qmax < opts.Threshold {
+						continue
+					}
+					ss++
+					rowPairs[a] = append(rowPairs[a], Pair{A: a, B: b, Q: q, R: r})
+				}
+				distSurvived.Add(ds)
+				schwarzSurvived.Add(ss)
 			}
-			res.Stats.DistanceSurvived++
-			q := res.Q.At(a, b)
-			if q*qmax < opts.Threshold {
-				continue
-			}
-			res.Stats.SchwarzSurvived++
-			res.Pairs = append(res.Pairs, Pair{A: a, B: b, Q: q, R: r})
-		}
+		}()
+	}
+	wg.Wait()
+
+	res.Stats.TotalPairs = ns * (ns + 1) / 2
+	res.Stats.DistanceSurvived = int(distSurvived.Load())
+	res.Stats.SchwarzSurvived = int(schwarzSurvived.Load())
+	res.Pairs = make([]Pair, 0, res.Stats.SchwarzSurvived)
+	for a := 0; a < ns; a++ {
+		res.Pairs = append(res.Pairs, rowPairs[a]...)
 	}
 	// Descending Q: the HFX task generator consumes pairs most-significant
-	// first so that the quartet loop can break out early.
-	sort.Slice(res.Pairs, func(i, j int) bool { return res.Pairs[i].Q > res.Pairs[j].Q })
+	// first so that the quartet loop can break out early. SliceStable keeps
+	// the row-ordered concatenation deterministic among equal norms.
+	sort.SliceStable(res.Pairs, func(i, j int) bool { return res.Pairs[i].Q > res.Pairs[j].Q })
+	res.Stats.PairWall = time.Since(start)
 	return res
 }
 

@@ -149,3 +149,66 @@ func TestStatsString(t *testing.T) {
 		t.Fatal("empty stats string")
 	}
 }
+
+func TestBuildPairListThreadsDeterministic(t *testing.T) {
+	eng := waterEngine(4)
+	opts := DefaultOptions()
+	opts.Threads = 1
+	ref := BuildPairList(eng, opts)
+	for _, nw := range []int{2, 3, 8} {
+		opts.Threads = nw
+		got := BuildPairList(eng, opts)
+		if len(got.Pairs) != len(ref.Pairs) {
+			t.Fatalf("threads=%d: %d pairs, want %d", nw, len(got.Pairs), len(ref.Pairs))
+		}
+		for i := range ref.Pairs {
+			if got.Pairs[i] != ref.Pairs[i] {
+				t.Fatalf("threads=%d: pair %d = %+v, want %+v", nw, i, got.Pairs[i], ref.Pairs[i])
+			}
+		}
+		if got.Stats.TotalPairs != ref.Stats.TotalPairs ||
+			got.Stats.DistanceSurvived != ref.Stats.DistanceSurvived ||
+			got.Stats.SchwarzSurvived != ref.Stats.SchwarzSurvived {
+			t.Fatalf("threads=%d: counts differ: %+v vs %+v", nw, got.Stats, ref.Stats)
+		}
+		if d := linalg.MaxAbsDiff(got.Q, ref.Q); d != 0 {
+			t.Fatalf("threads=%d: Schwarz matrix differs by %g", nw, d)
+		}
+	}
+}
+
+func TestBuildPairListWallTimesRecorded(t *testing.T) {
+	res := BuildPairList(waterEngine(4), DefaultOptions())
+	if res.Stats.SchwarzWall <= 0 || res.Stats.PairWall <= 0 {
+		t.Fatalf("wall times not recorded: %+v", res.Stats)
+	}
+	if res.Stats.Wall() != res.Stats.SchwarzWall+res.Stats.PairWall {
+		t.Fatal("Wall() is not the phase sum")
+	}
+	if res.Stats.Threads <= 0 {
+		t.Fatalf("thread count not recorded: %d", res.Stats.Threads)
+	}
+}
+
+// benchPairListEngine builds the (H2O)_8 / 6-31G system of the scaling
+// acceptance test, warming the engine's shell-pair cache so the benchmark
+// times screening work rather than one-time pair setup.
+func benchPairListEngine(b *testing.B) *integrals.Engine {
+	b.Helper()
+	eng := integrals.NewEngine(basis.MustBuild("6-31G", chem.WaterCluster(8, 1)))
+	BuildPairList(eng, DefaultOptions())
+	return eng
+}
+
+func benchmarkBuildPairList(b *testing.B, threads int) {
+	eng := benchPairListEngine(b)
+	opts := DefaultOptions()
+	opts.Threads = threads
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildPairList(eng, opts)
+	}
+}
+
+func BenchmarkBuildPairListThreads1(b *testing.B) { benchmarkBuildPairList(b, 1) }
+func BenchmarkBuildPairListThreads4(b *testing.B) { benchmarkBuildPairList(b, 4) }

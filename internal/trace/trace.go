@@ -47,6 +47,38 @@ func (t *Timer) Charge(name string, d time.Duration) {
 	t.mu.Unlock()
 }
 
+// Reset clears all phases while keeping the map storage, so a timer can
+// be reused across iterations without reallocating.
+func (t *Timer) Reset() {
+	t.mu.Lock()
+	clear(t.phases)
+	t.mu.Unlock()
+}
+
+// Phases returns a snapshot of the accumulated phases sorted by
+// descending duration.
+func (t *Timer) Phases() []PhaseDuration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rows := make([]PhaseDuration, 0, len(t.phases))
+	for k, v := range t.phases {
+		rows = append(rows, PhaseDuration{Name: k, D: v})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].D != rows[j].D {
+			return rows[i].D > rows[j].D
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
+}
+
+// PhaseDuration is one row of a Timer snapshot.
+type PhaseDuration struct {
+	Name string
+	D    time.Duration
+}
+
 // Get returns the accumulated duration of a phase.
 func (t *Timer) Get(name string) time.Duration {
 	t.mu.Lock()
@@ -70,6 +102,71 @@ func (t *Timer) String() string {
 	s := ""
 	for _, r := range rows {
 		s += fmt.Sprintf("%-16s %v\n", r.k, r.v)
+	}
+	return s
+}
+
+// Registry is a named collection of counters plus a phase timer: the
+// metrics surface that long-lived pipeline objects (e.g. the persistent
+// HFX builder pool) expose through their execution reports. Counter
+// lookup by a constant name is allocation-free after the counter has
+// been created, so hot paths may call Counter per event.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	// Timer accumulates the per-phase wall clock of the current
+	// iteration; callers Reset it between iterations while the counters
+	// persist for the lifetime of the registry.
+	Timer *Timer
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		Timer:    NewTimer(),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	r.mu.Unlock()
+	return c
+}
+
+// CounterValue is one row of a Registry snapshot.
+type CounterValue struct {
+	Name  string
+	Value int64
+}
+
+// Counters returns a snapshot of all counters sorted by name.
+func (r *Registry) Counters() []CounterValue {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rows := make([]CounterValue, 0, len(r.counters))
+	for k, c := range r.counters {
+		rows = append(rows, CounterValue{Name: k, Value: c.Value()})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}
+
+// String renders the counters and timer phases, counters first, both
+// sorted deterministically.
+func (r *Registry) String() string {
+	s := ""
+	for _, c := range r.Counters() {
+		s += fmt.Sprintf("%-24s %d\n", c.Name, c.Value)
+	}
+	for _, p := range r.Timer.Phases() {
+		s += fmt.Sprintf("%-24s %v\n", p.Name, p.D)
 	}
 	return s
 }

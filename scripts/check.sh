@@ -1,0 +1,11 @@
+#!/bin/sh
+# Repository check: vet, build, race-enabled tests, and the steady-state
+# allocation guard (BenchmarkBuildJKPooled must report 0 allocs/op —
+# enforced in-suite by TestSteadyStateBuildAllocs, surfaced here for
+# inspection).
+set -eux
+
+go vet ./...
+go build ./...
+go test -race ./...
+go test ./internal/hfx/ -run '^$' -bench 'BenchmarkBuildJKPooled$' -benchtime 3x
