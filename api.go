@@ -1,6 +1,7 @@
 package hfxmd
 
 import (
+	"context"
 	"io"
 
 	"hfxmd/internal/basis"
@@ -15,6 +16,7 @@ import (
 	"hfxmd/internal/scf"
 	"hfxmd/internal/sched"
 	"hfxmd/internal/screen"
+	"hfxmd/internal/server"
 	"hfxmd/internal/torus"
 )
 
@@ -104,6 +106,15 @@ type GridSpec = dft.GridSpec
 // RunSCF performs a restricted SCF calculation.
 func RunSCF(mol *Molecule, cfg SCFConfig) (*SCFResult, error) { return scf.Run(mol, cfg) }
 
+// RunSCFContext is RunSCF with a cancellation context, polled once per
+// SCF iteration: deadlines and client disconnects stop the solver
+// between iterations, returning the partial result and the context
+// error. The hfxd job service uses this to keep hung jobs from pinning
+// its workers.
+func RunSCFContext(ctx context.Context, mol *Molecule, cfg SCFConfig) (*SCFResult, error) {
+	return scf.RunContext(ctx, mol, cfg)
+}
+
 // UHFResult is an unrestricted (open-shell) SCF result.
 type UHFResult = scf.UnrestrictedResult
 
@@ -164,11 +175,23 @@ func NewExchangeBuilder(mol *Molecule, basisName string, sopts ScreeningOptions,
 }
 
 // BuildJK evaluates the Coulomb and exchange matrices for density p.
-// The returned matrices alias the builder's persistent buffers and are
-// valid until the next BuildJK on this builder; clone them to keep
-// results across builds.
+//
+// WARNING: the returned matrices ALIAS the builder's persistent pool
+// buffers — they are valid only until the next BuildJK on this builder,
+// which silently overwrites them in place. Holding both an old and a new
+// result (as the UHF driver's alpha/beta builds must) requires copying
+// the first before rebuilding; use BuildJKCopy when in doubt.
 func (e *ExchangeBuilder) BuildJK(p *Matrix) (j, k *Matrix, rep ExchangeReport) {
 	return e.b.BuildJK(p)
+}
+
+// BuildJKCopy is BuildJK returning freshly allocated copies of J and K
+// that remain valid across subsequent builds. It trades one J/K-sized
+// allocation per call for aliasing safety; hot loops that consume the
+// result before the next build should keep using BuildJK.
+func (e *ExchangeBuilder) BuildJKCopy(p *Matrix) (j, k *Matrix, rep ExchangeReport) {
+	jj, kk, rep := e.b.BuildJK(p)
+	return jj.Clone(), kk.Clone(), rep
 }
 
 // Close stops the builder's persistent worker pool. Optional (a
@@ -293,6 +316,57 @@ type CampaignResult = bgq.CampaignResult
 // FeasibilityTable reports the time per MD step across machine sizes.
 func FeasibilityTable(c MDCampaign, racks []int, opts SimOptions) ([]CampaignResult, error) {
 	return bgq.FeasibilityTable(c, racks, opts)
+}
+
+// ---------------------------------------------------------------------------
+// Job service layer (hfxd).
+
+// JobRequest is the JSON body submitted to an hfxd server.
+type JobRequest = server.JobRequest
+
+// JobResult is the JSON response of an hfxd job.
+type JobResult = server.JobResult
+
+// SCFSummary is the shared JSON encoding of an SCF result (hfxd wire
+// format, also emitted by cmd/scfrun -json).
+type SCFSummary = server.SCFSummary
+
+// ScanSummary is the shared JSON encoding of a solvent-scan profile
+// (hfxd wire format, also emitted by cmd/solvents -json).
+type ScanSummary = server.ScanSummary
+
+// ScanPointJSON is one point of a ScanSummary profile.
+type ScanPointJSON = server.ScanPointJSON
+
+// SummarizeSCF converts a converged SCF result into the shared wire
+// encoding.
+func SummarizeSCF(res *SCFResult) *SCFSummary { return server.SummarizeSCF(res) }
+
+// JobClient is the Go client for an hfxd server.
+type JobClient = server.Client
+
+// NewJobClient returns a client for the given hfxd base URL.
+func NewJobClient(baseURL string) *JobClient { return server.NewClient(baseURL) }
+
+// JobServerBusyError is the 429 admission rejection with its Retry-After
+// backoff hint.
+type JobServerBusyError = server.BusyError
+
+// JobServerConfig tunes an embedded hfxd server.
+type JobServerConfig = server.Config
+
+// JobServer is the hfxd job service, embeddable behind any http.Server.
+type JobServer = server.Server
+
+// NewJobServer starts an hfxd worker pool; attach its Handler to an HTTP
+// listener and stop it with Shutdown.
+func NewJobServer(cfg JobServerConfig) *JobServer { return server.New(cfg) }
+
+// PredictMakespan is the exported cost-prediction hook: the modeled
+// wall-clock of executing tasks with the given costs on nWorkers workers
+// under the chosen balancing algorithm.
+func PredictMakespan(alg BalanceAlgorithm, costs []float64, nWorkers int) float64 {
+	return sched.PredictMakespan(alg, costs, nWorkers)
 }
 
 // BalanceAlgorithm names a static load-balancing strategy.

@@ -118,3 +118,58 @@ func ExampleNewMachine() {
 	fmt.Println(m.Threads(), "hardware threads")
 	// Output: 6291456 hardware threads
 }
+
+// TestBuildJKCopySurvivesRebuild pins the aliasing contract of the
+// exchange facade: BuildJK returns views into the builder's pooled
+// buffers that the next build overwrites in place (the trap that bit the
+// UHF alpha/beta builds), while BuildJKCopy returns stable copies.
+func TestBuildJKCopySurvivesRebuild(t *testing.T) {
+	eb, err := hfxmd.NewExchangeBuilder(hfxmd.Water(), "STO-3G",
+		hfxmd.DefaultScreening(), hfxmd.PaperExchangeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eb.Close()
+	n := eb.NBasis()
+	density := func(scale float64) *hfxmd.Matrix {
+		p := &hfxmd.Matrix{Rows: n, Cols: n, Data: make([]float64, n*n)}
+		for i := 0; i < n; i++ {
+			p.Set(i, i, scale)
+		}
+		return p
+	}
+	p1, p2 := density(0.5), density(1.0)
+
+	jc, kc, _ := eb.BuildJKCopy(p1)
+	ja, ka, _ := eb.BuildJK(p1)
+	maxDiff := func(a, b *hfxmd.Matrix, scaleB float64) float64 {
+		var m float64
+		for i := range a.Data {
+			if d := math.Abs(a.Data[i] - scaleB*b.Data[i]); d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	if d := maxDiff(jc, ja, 1); d != 0 {
+		t.Fatalf("copy and aliased build disagree before rebuild: %g", d)
+	}
+
+	// Rebuild with the doubled density: the aliased matrices must be
+	// silently overwritten while the copies stay put.
+	j2, k2, _ := eb.BuildJK(p2)
+	if d := maxDiff(ja, jc, 1); d == 0 {
+		t.Fatal("aliased J was not overwritten by the second build — the aliasing trap this test guards vanished")
+	}
+	if d := maxDiff(ka, kc, 1); d == 0 {
+		t.Fatal("aliased K was not overwritten by the second build")
+	}
+	// J and K are linear in P, so the stable copies must be exactly half
+	// the doubled-density build (same quartets, same summation order).
+	if d := maxDiff(j2, jc, 2); d > 1e-12 {
+		t.Fatalf("BuildJKCopy J drifted after rebuild: max |J2 - 2*Jcopy| = %g", d)
+	}
+	if d := maxDiff(k2, kc, 2); d > 1e-12 {
+		t.Fatalf("BuildJKCopy K drifted after rebuild: max |K2 - 2*Kcopy| = %g", d)
+	}
+}

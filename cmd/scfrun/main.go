@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -33,6 +34,7 @@ func main() {
 		charge     = flag.Int("charge", 0, "total molecular charge")
 		uhf        = flag.Bool("uhf", false, "spin-unrestricted SCF (HF only)")
 		mult       = flag.Int("mult", 0, "spin multiplicity 2S+1 for -uhf (0 = lowest)")
+		jsonOut    = flag.Bool("json", false, "emit the shared JSON result encoding (hfxd wire format)")
 	)
 	flag.Parse()
 
@@ -51,9 +53,11 @@ func main() {
 	hfxopt := hfxmd.PaperExchangeOptions()
 	hfxopt.Threads = *threads
 
-	fmt.Printf("System     : %s (%s), charge %d, %d electrons\n",
-		mol.Name, mol.Formula(), mol.Charge, mol.NElectrons())
-	fmt.Printf("Model      : %s/%s, screening ε = %g\n", *functional, *basisName, *eps)
+	if !*jsonOut {
+		fmt.Printf("System     : %s (%s), charge %d, %d electrons\n",
+			mol.Name, mol.Formula(), mol.Charge, mol.NElectrons())
+		fmt.Printf("Model      : %s/%s, screening ε = %g\n", *functional, *basisName, *eps)
+	}
 
 	cfg := hfxmd.SCFConfig{
 		Basis:      *basisName,
@@ -62,12 +66,23 @@ func main() {
 		HFX:        hfxopt,
 	}
 	if *uhf {
+		if *jsonOut {
+			log.Fatal("-json is not supported with -uhf")
+		}
 		runUHF(mol, cfg, *mult)
 		return
 	}
 	res, err := hfxmd.RunSCF(mol, cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(hfxmd.SummarizeSCF(res)); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	if !res.Converged {
 		fmt.Fprintf(os.Stderr, "WARNING: SCF did not converge in %d iterations\n", res.Iterations)

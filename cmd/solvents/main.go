@@ -16,9 +16,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"hfxmd"
 	"hfxmd/internal/phys"
@@ -34,6 +36,7 @@ func main() {
 		points     = flag.Int("points", 5, "number of scan points")
 		rmin       = flag.Float64("rmin", 3.4, "closest approach (bohr)")
 		rmax       = flag.Float64("rmax", 9.0, "farthest approach (bohr)")
+		jsonOut    = flag.Bool("json", false, "emit the shared JSON scan encoding (hfxd wire format)")
 	)
 	flag.Parse()
 
@@ -57,14 +60,20 @@ func main() {
 		coords[i] = *rmax + (*rmin-*rmax)*float64(i)/float64(*points-1)
 	}
 
-	fmt.Printf("Li2O2 attack profiles, %s/%s, ε=%g\n", *functional, *basisName, *eps)
+	if !*jsonOut {
+		fmt.Printf("Li2O2 attack profiles, %s/%s, ε=%g\n", *functional, *basisName, *eps)
+	}
 	type verdict struct {
 		name string
 		well float64 // hartree, most negative relative energy vs separated
 	}
 	var results []verdict
+	var scans []*hfxmd.ScanSummary
 	for _, solvent := range []string{"PC", "DMSO"} {
-		fmt.Printf("\n--- %s + Li2O2 ---\n%10s %16s %14s\n", solvent, "R [bohr]", "E [Eh]", "ΔE [kcal/mol]")
+		if !*jsonOut {
+			fmt.Printf("\n--- %s + Li2O2 ---\n%10s %16s %14s\n", solvent, "R [bohr]", "E [Eh]", "ΔE [kcal/mol]")
+		}
+		scan := &hfxmd.ScanSummary{Solvent: solvent}
 		var ref, well float64
 		for i, r := range coords {
 			mol, err := hfxmd.SolvatedPeroxide(solvent, r)
@@ -76,19 +85,37 @@ func main() {
 				log.Fatal(err)
 			}
 			if !res.Converged {
-				fmt.Printf("%10.2f   (SCF not converged after %d iterations)\n", r, res.Iterations)
+				if !*jsonOut {
+					fmt.Printf("%10.2f   (SCF not converged after %d iterations)\n", r, res.Iterations)
+				}
+				scan.Points = append(scan.Points, hfxmd.ScanPointJSON{R: r, Energy: res.Energy})
 				continue
 			}
 			if i == 0 {
 				ref = res.Energy
 			}
 			rel := res.Energy - ref
-			fmt.Printf("%10.2f %16.8f %14.2f\n", r, res.Energy, rel*phys.HartreeToKcalMol)
+			scan.Points = append(scan.Points, hfxmd.ScanPointJSON{
+				R: r, Energy: res.Energy, Rel: rel, Converged: true,
+			})
+			if !*jsonOut {
+				fmt.Printf("%10.2f %16.8f %14.2f\n", r, res.Energy, rel*phys.HartreeToKcalMol)
+			}
 			if rel < well {
 				well = rel
 			}
 		}
+		scan.WellKcal = well * phys.HartreeToKcalMol
+		scans = append(scans, scan)
 		results = append(results, verdict{solvent, well})
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(scans); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	fmt.Println("\n=== stability verdict ===")

@@ -10,6 +10,7 @@
 package scf
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -65,6 +66,13 @@ type Config struct {
 	// accumulation error.
 	Incremental  bool
 	RebuildEvery int
+	// Ctx, if non-nil, is polled once per SCF iteration; when it is
+	// cancelled (deadline exceeded, client disconnect, server drain)
+	// the driver stops between iterations and returns the context error
+	// alongside the partial result, so a hung or abandoned job cannot
+	// pin a server worker forever. Nil preserves the pre-context
+	// behaviour. RunContext is the convenience wrapper that sets it.
+	Ctx context.Context
 }
 
 func (c *Config) fillDefaults() {
@@ -148,6 +156,16 @@ func (r *Result) LUMO() float64 {
 // Gap returns the HOMO-LUMO gap.
 func (r *Result) Gap() float64 { return r.LUMO() - r.HOMO() }
 
+// RunContext performs the SCF under an explicit cancellation context: a
+// wrapper over Run that sets cfg.Ctx so existing call sites keep the old
+// two-argument signature. Cancellation is checked once per iteration; on
+// cancellation the partial (unconverged) result is returned together
+// with an error wrapping ctx.Err().
+func RunContext(ctx context.Context, mol *chem.Molecule, cfg Config) (*Result, error) {
+	cfg.Ctx = ctx
+	return Run(mol, cfg)
+}
+
 // Run performs the SCF for the molecule under the given configuration.
 func Run(mol *chem.Molecule, cfg Config) (*Result, error) {
 	cfg.fillDefaults()
@@ -204,6 +222,11 @@ func Run(mol *chem.Molecule, cfg Config) (*Result, error) {
 	// correspond to.
 	var jAcc, kAcc, pPrev *linalg.Matrix
 	for iter := 1; iter <= cfg.MaxIter; iter++ {
+		if cfg.Ctx != nil {
+			if err := cfg.Ctx.Err(); err != nil {
+				return res, fmt.Errorf("scf: cancelled before iteration %d: %w", iter, err)
+			}
+		}
 		var j, k *linalg.Matrix
 		var rep hfx.Report
 		if cfg.Incremental && jAcc != nil && (iter-1)%cfg.RebuildEvery != 0 {
@@ -311,6 +334,15 @@ func sadGuess(set *basis.Set, p *linalg.Matrix) {
 			p.Set(f, f, per)
 		}
 	}
+}
+
+// SADDensity returns the superposition-of-atomic-densities guess for a
+// basis set as a fresh matrix — the density the hfxd single-build
+// (buildjk) jobs contract against without running a full SCF.
+func SADDensity(set *basis.Set) *linalg.Matrix {
+	p := linalg.NewSquare(set.NBasis)
+	sadGuess(set, p)
+	return p
 }
 
 // solveFock diagonalises F in the orthonormal basis X and back-transforms

@@ -1,8 +1,11 @@
 package scf
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"hfxmd/internal/chem"
 	"hfxmd/internal/dft"
@@ -362,5 +365,65 @@ func TestWater631GAnchors(t *testing.T) {
 	// Variational ordering: bigger basis, lower energy.
 	if !(resD.Energy < res.Energy) {
 		t.Fatalf("6-31G* %.6f not below 6-31G %.6f", resD.Energy, res.Energy)
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, chem.Water(), Config{})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res == nil {
+		t.Fatal("partial result must still be returned on cancellation")
+	}
+	if res.Converged || res.Iterations != 0 {
+		t.Fatalf("pre-cancelled run must not iterate: converged=%v iters=%d",
+			res.Converged, res.Iterations)
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := Config{
+		OnIteration: func(iter int, energy, diisErr float64) {
+			if iter == 2 {
+				cancel()
+			}
+		},
+	}
+	res, err := RunContext(ctx, chem.Water(), cfg)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res.Iterations != 2 {
+		t.Fatalf("cancellation is checked once per iteration: stopped after %d, want 2", res.Iterations)
+	}
+	if res.Converged {
+		t.Fatal("cancelled run must not report convergence")
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := RunContext(ctx, chem.Water(), Config{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestRunContextUHF(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{Ctx: ctx}
+	res, err := RunUnrestricted(chem.Water(), cfg, 1)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled from UHF, got %v", err)
+	}
+	if res == nil || res.Iterations != 0 {
+		t.Fatal("UHF must stop before the first iteration when pre-cancelled")
 	}
 }

@@ -109,6 +109,11 @@ func RunUnrestricted(mol *chem.Molecule, cfg Config, multiplicity int) (*Unrestr
 	ja := linalg.NewSquare(n)
 	ka := linalg.NewSquare(n)
 	for iter := 1; iter <= cfg.MaxIter; iter++ {
+		if cfg.Ctx != nil {
+			if err := cfg.Ctx.Err(); err != nil {
+				return res, fmt.Errorf("scf: cancelled before iteration %d: %w", iter, err)
+			}
+		}
 		// J and K are linear in the density: two builds give everything.
 		jaP, kaP, _ := builder.BuildJK(pa)
 		ja.CopyFrom(jaP)

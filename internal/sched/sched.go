@@ -201,6 +201,30 @@ func (h *loadHeap) push(w int, load float64) {
 	heap.Push(h, [2]float64{load, float64(w)})
 }
 
+// TotalCost returns the summed task cost — the serial wall-clock
+// prediction of the cost model.
+func TotalCost(costs []float64) float64 {
+	var s float64
+	for _, c := range costs {
+		s += c
+	}
+	return s
+}
+
+// PredictMakespan returns the cost model's wall-clock prediction for
+// executing tasks with the given costs on nWorkers workers under alg:
+// the maximum per-worker load of the resulting assignment. This is the
+// exported cost-prediction hook of the scheduling layer — the paper's
+// observation that HFX cost is predictable from the screened pair list
+// means a serving layer can price a job *before* running it, which the
+// hfxd admission queue uses for shortest-predicted-job-first ordering.
+func PredictMakespan(alg Algorithm, costs []float64, nWorkers int) float64 {
+	if len(costs) == 0 {
+		return 0
+	}
+	return Balance(alg, costs, nWorkers).MaxLoad()
+}
+
 // TheoreticalEfficiency returns the parallel efficiency implied by an
 // assignment's balance alone (ignoring communication): mean/max.
 func (a *Assignment) TheoreticalEfficiency() float64 {

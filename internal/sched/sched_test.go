@@ -245,3 +245,32 @@ func BenchmarkLPT100k(b *testing.B) {
 		Balance(LPT, costs, 1024)
 	}
 }
+
+func TestPredictMakespanMatchesBalance(t *testing.T) {
+	costs := []float64{9, 1, 7, 3, 5, 2, 8}
+	for _, alg := range []Algorithm{Block, RoundRobin, LPT, Steal} {
+		want := Balance(alg, costs, 3).MaxLoad()
+		if got := PredictMakespan(alg, costs, 3); got != want {
+			t.Fatalf("%v: predicted %g, want MaxLoad %g", alg, got, want)
+		}
+	}
+	if got := PredictMakespan(LPT, costs, 1); got != TotalCost(costs) {
+		t.Fatalf("1 worker: %g, want serial total %g", got, TotalCost(costs))
+	}
+	if got := PredictMakespan(LPT, nil, 4); got != 0 {
+		t.Fatalf("empty costs: %g, want 0", got)
+	}
+	// More workers never predict worse.
+	if PredictMakespan(LPT, costs, 8) > PredictMakespan(LPT, costs, 2) {
+		t.Fatal("makespan prediction must be monotone in workers")
+	}
+}
+
+func TestTotalCost(t *testing.T) {
+	if got := TotalCost([]float64{1, 2, 3.5}); got != 6.5 {
+		t.Fatalf("TotalCost %g, want 6.5", got)
+	}
+	if got := TotalCost(nil); got != 0 {
+		t.Fatalf("TotalCost(nil) %g, want 0", got)
+	}
+}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is the result cache: canonical job hash → finished JobResult.
+// A hit answers a repeated job without queueing it or touching a
+// builder. Only successfully completed (state done) results are stored;
+// eviction is least-recently-used by entry count. A capacity of 0
+// disables the cache.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res JobResult // stored by value; payload pointers are never mutated
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached result for key, marking it most recently used.
+func (c *lruCache) get(key string) (JobResult, bool) {
+	if c.cap <= 0 {
+		return JobResult{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return JobResult{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put stores a finished result, evicting the least recently used entry
+// when over capacity.
+func (c *lruCache) put(key string, res JobResult) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

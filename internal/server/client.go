@@ -1,0 +1,117 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client is the Go client for an hfxd server, shared by cmd/hfxd's
+// -submit mode and the smoke test; library users reach it through the
+// hfxmd facade.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the transport (default http.DefaultClient).
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the given base URL.
+func NewClient(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// BusyError reports a 429 admission rejection with the server's
+// suggested backoff.
+type BusyError struct{ RetryAfter time.Duration }
+
+// Error implements error.
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("server busy, retry after %v", e.RetryAfter)
+}
+
+// Submit posts one job and waits for its result. Job-level outcomes
+// (done, failed, cancelled) come back as a JobResult with State set;
+// transport and admission failures come back as errors — a full queue is
+// a *BusyError carrying the Retry-After hint.
+func (c *Client) Submit(ctx context.Context, req JobRequest) (*JobResult, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hres, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hres.Body.Close()
+	switch hres.StatusCode {
+	case http.StatusOK:
+		var res JobResult
+		if err := json.NewDecoder(hres.Body).Decode(&res); err != nil {
+			return nil, fmt.Errorf("decoding job result: %w", err)
+		}
+		return &res, nil
+	case http.StatusTooManyRequests:
+		secs, _ := strconv.Atoi(hres.Header.Get("Retry-After"))
+		if secs <= 0 {
+			secs = 1
+		}
+		return nil, &BusyError{RetryAfter: time.Duration(secs) * time.Second}
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(hres.Body, 4096))
+		return nil, fmt.Errorf("server returned %s: %s", hres.Status, bytes.TrimSpace(msg))
+	}
+}
+
+// MetricsJSON fetches the structured /metrics snapshot.
+func (c *Client) MetricsJSON(ctx context.Context) (map[string]any, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics?format=json", nil)
+	if err != nil {
+		return nil, err
+	}
+	hres, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics returned %s", hres.Status)
+	}
+	var m map[string]any
+	if err := json.NewDecoder(hres.Body).Decode(&m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Health probes /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	hres, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz returned %s", hres.Status)
+	}
+	return nil
+}

@@ -1,0 +1,434 @@
+// Package server implements hfxd, the concurrent SCF/HFX job service:
+// an HTTP/JSON front end that multiplexes many clients onto a small
+// fixed pool of workers owning long-lived hfx.Builder/SCF state.
+//
+// The design leans on the paper's central observation — HFX task cost is
+// *predictable* from the screened pair list — to do cost-aware admission:
+// every job is priced at submit time (screening + cost model + the
+// sched.PredictMakespan hook) and the bounded queue runs shortest-
+// predicted-job-first with starvation aging, the serving-layer analogue
+// of the paper's static LPT schedule. Identical jobs are answered from
+// an LRU result cache keyed by a canonical hash of the resolved
+// geometry, basis and method options, skipping the builders entirely.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"hfxmd/internal/basis"
+	"hfxmd/internal/chem"
+	"hfxmd/internal/dft"
+	"hfxmd/internal/hfx"
+	"hfxmd/internal/integrals"
+	"hfxmd/internal/linalg"
+	"hfxmd/internal/phys"
+	"hfxmd/internal/scf"
+	"hfxmd/internal/sched"
+	"hfxmd/internal/screen"
+)
+
+// The job kinds hfxd serves.
+const (
+	KindSCF         = "scf"          // full SCF energy (HF/LDA/PBE/PBE0)
+	KindBuildJK     = "buildjk"      // one Fock build on the SAD guess density
+	KindScreen      = "screen"       // screening statistics + cost prediction
+	KindSolventScan = "solvent-scan" // Li2O2 approach profile (experiment E8)
+)
+
+// JobRequest is the JSON body of POST /v1/jobs. Exactly one of System or
+// XYZ selects the geometry (solvent-scan jobs use Solvent instead).
+type JobRequest struct {
+	// Kind is one of scf|buildjk|screen|solvent-scan (default scf).
+	Kind string `json:"kind,omitempty"`
+	// System names a built-in geometry:
+	// water|h2|he|lih|lif|ch4|pc|dmso|li2o2|watercluster.
+	System string `json:"system,omitempty"`
+	// NWater sizes -system watercluster (default 4).
+	NWater int `json:"nwater,omitempty"`
+	// XYZ is an inline geometry in XYZ format (ångström).
+	XYZ string `json:"xyz,omitempty"`
+	// Charge is the total molecular charge.
+	Charge int `json:"charge,omitempty"`
+	// Basis names a built-in basis set (default STO-3G).
+	Basis string `json:"basis,omitempty"`
+	// Functional is HF|LDA|PBE|PBE0 (default HF).
+	Functional string `json:"functional,omitempty"`
+	// Screen is the integral screening threshold ε (default 1e-8).
+	Screen float64 `json:"screen,omitempty"`
+	// DensityWeighted toggles P-weighted quartet screening (default on,
+	// the paper's production setting).
+	DensityWeighted *bool `json:"densityWeighted,omitempty"`
+	// MaxIter bounds the SCF iterations (default 100).
+	MaxIter int `json:"maxIter,omitempty"`
+	// TimeoutMS is the per-job deadline in milliseconds (0 = server
+	// default). The deadline is checked between SCF iterations.
+	TimeoutMS int64 `json:"timeoutMs,omitempty"`
+
+	// Solvent-scan parameters (kind solvent-scan only).
+	Solvent string  `json:"solvent,omitempty"` // PC|DMSO (default PC)
+	Points  int     `json:"points,omitempty"`  // scan points (default 5)
+	RMin    float64 `json:"rmin,omitempty"`    // closest approach, bohr (default 3.4)
+	RMax    float64 `json:"rmax,omitempty"`    // farthest approach, bohr (default 9.0)
+}
+
+// normalize fills defaults in place so that equivalent requests have
+// identical field values before cache-key hashing.
+func (r *JobRequest) normalize() {
+	if r.Kind == "" {
+		r.Kind = KindSCF
+	}
+	r.Kind = strings.ToLower(r.Kind)
+	if r.System == "" && r.XYZ == "" && r.Kind != KindSolventScan {
+		r.System = "water"
+	}
+	r.System = strings.ToLower(r.System)
+	if r.NWater == 0 {
+		r.NWater = 4
+	}
+	if r.Basis == "" {
+		r.Basis = "STO-3G"
+	}
+	if r.Functional == "" {
+		r.Functional = "HF"
+	}
+	r.Functional = strings.ToUpper(r.Functional)
+	if r.Screen == 0 {
+		r.Screen = 1e-8
+	}
+	if r.DensityWeighted == nil {
+		t := true
+		r.DensityWeighted = &t
+	}
+	if r.Kind == KindSolventScan {
+		if r.Solvent == "" {
+			r.Solvent = "PC"
+		}
+		r.Solvent = strings.ToUpper(r.Solvent)
+		if r.Points == 0 {
+			r.Points = 5
+		}
+		if r.RMin == 0 {
+			r.RMin = 3.4
+		}
+		if r.RMax == 0 {
+			r.RMax = 9.0
+		}
+	}
+}
+
+// validate rejects malformed requests before any work is done.
+func (r *JobRequest) validate() error {
+	switch r.Kind {
+	case KindSCF, KindBuildJK, KindScreen:
+	case KindSolventScan:
+		if r.Solvent != "PC" && r.Solvent != "DMSO" {
+			return fmt.Errorf("unknown solvent %q (want PC or DMSO)", r.Solvent)
+		}
+		if r.Points < 2 {
+			return fmt.Errorf("solvent-scan needs at least 2 points, got %d", r.Points)
+		}
+		if !(r.RMin > 0 && r.RMax > r.RMin) {
+			return fmt.Errorf("solvent-scan needs 0 < rmin < rmax, got [%g, %g]", r.RMin, r.RMax)
+		}
+	default:
+		return fmt.Errorf("unknown job kind %q", r.Kind)
+	}
+	if r.System != "" && r.XYZ != "" {
+		return fmt.Errorf("system and xyz are mutually exclusive")
+	}
+	if _, ok := dft.ByName(r.Functional); !ok {
+		return fmt.Errorf("unknown functional %q", r.Functional)
+	}
+	if r.Screen < 0 {
+		return fmt.Errorf("negative screening threshold %g", r.Screen)
+	}
+	return nil
+}
+
+// resolveMolecule maps the request's geometry selector to a Molecule.
+// For solvent-scan jobs it returns the closest-approach geometry, which
+// dominates the predicted cost.
+func (r *JobRequest) resolveMolecule() (*chem.Molecule, error) {
+	if r.Kind == KindSolventScan {
+		return chem.SolvatedPeroxide(r.Solvent, r.RMin)
+	}
+	if r.XYZ != "" {
+		mol, err := chem.ReadXYZ(strings.NewReader(r.XYZ))
+		if err != nil {
+			return nil, err
+		}
+		mol.Charge = r.Charge
+		return mol, nil
+	}
+	var mol *chem.Molecule
+	switch r.System {
+	case "water":
+		mol = chem.Water()
+	case "h2":
+		mol = chem.Hydrogen(1.4)
+	case "he":
+		mol = chem.Helium()
+	case "lih":
+		mol = chem.LithiumHydride()
+	case "lif":
+		mol = chem.LithiumFluoride()
+	case "ch4":
+		mol = chem.Methane()
+	case "pc":
+		mol = chem.PropyleneCarbonate()
+	case "dmso":
+		mol = chem.DimethylSulfoxide()
+	case "li2o2":
+		mol = chem.LithiumPeroxide()
+	case "watercluster":
+		mol = chem.WaterCluster(r.NWater, 1)
+	default:
+		return nil, fmt.Errorf("unknown system %q", r.System)
+	}
+	mol.Charge = r.Charge
+	return mol, nil
+}
+
+// cacheKey returns the canonical hash identifying the *numerical*
+// content of a job: kind, resolved geometry (element + position in bohr
+// at full float precision, charge, cell), basis, functional, screening
+// options and the density-weighting flag. Options that cannot change
+// the result — worker threads, balancer, deadline — are deliberately
+// excluded, so e.g. the same job submitted with different timeouts is
+// one cache entry. The request must be normalized first.
+func (r *JobRequest) cacheKey(mol *chem.Molecule) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "kind=%s;basis=%s;func=%s;screen=%.17g;dw=%v;maxiter=%d;",
+		r.Kind, r.Basis, r.Functional, r.Screen, *r.DensityWeighted, r.MaxIter)
+	if r.Kind == KindSolventScan {
+		fmt.Fprintf(&sb, "solvent=%s;points=%d;rmin=%.17g;rmax=%.17g;",
+			r.Solvent, r.Points, r.RMin, r.RMax)
+	}
+	fmt.Fprintf(&sb, "charge=%d;", mol.Charge)
+	if mol.Cell != nil {
+		fmt.Fprintf(&sb, "cell=%.17g,%.17g,%.17g;", mol.Cell.L[0], mol.Cell.L[1], mol.Cell.L[2])
+	}
+	for _, a := range mol.Atoms {
+		fmt.Fprintf(&sb, "%d:%.17g,%.17g,%.17g;", int(a.El), a.Pos[0], a.Pos[1], a.Pos[2])
+	}
+	h := sha256.Sum256([]byte(sb.String()))
+	return hex.EncodeToString(h[:16])
+}
+
+// JobResult is the JSON response of POST /v1/jobs. Exactly one of the
+// payload pointers (SCF, Build, Screen, Scan) is set for a done job.
+type JobResult struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	State string `json:"state"` // done|failed|cancelled
+	// CacheHit marks a result served from the LRU cache without touching
+	// a builder; CacheKey is the canonical job hash.
+	CacheHit bool   `json:"cacheHit"`
+	CacheKey string `json:"cacheKey"`
+	// PredictedCostNS is the admission-time cost prediction (cost-model
+	// nanoseconds) used for queue ordering.
+	PredictedCostNS float64 `json:"predictedCostNs,omitempty"`
+	QueueMS         float64 `json:"queueMs"`
+	RunMS           float64 `json:"runMs"`
+	Error           string  `json:"error,omitempty"`
+
+	SCF    *SCFSummary    `json:"scf,omitempty"`
+	Build  *BuildSummary  `json:"build,omitempty"`
+	Screen *ScreenSummary `json:"screen,omitempty"`
+	Scan   *ScanSummary   `json:"scan,omitempty"`
+}
+
+// SCFSummary is the shared JSON encoding of a converged SCF result, used
+// by the server and by cmd/scfrun -json.
+type SCFSummary struct {
+	Energy      float64    `json:"energy"`
+	EOne        float64    `json:"eOne"`
+	ECoulomb    float64    `json:"eCoulomb"`
+	EExchangeHF float64    `json:"eExchangeHF"`
+	EXC         float64    `json:"exc"`
+	ENuclear    float64    `json:"eNuclear"`
+	Converged   bool       `json:"converged"`
+	Iterations  int        `json:"iterations"`
+	NBasis      int        `json:"nbasis"`
+	// HOMO and LUMO are omitted when undefined (no occupied orbitals,
+	// or a minimal basis with no virtuals — e.g. He/STO-3G): NaN is not
+	// representable in JSON.
+	HOMO     *float64   `json:"homo,omitempty"`
+	LUMO     *float64   `json:"lumo,omitempty"`
+	Dipole      [3]float64 `json:"dipole"`
+	Mulliken    []float64  `json:"mulliken,omitempty"`
+}
+
+// SummarizeSCF builds the shared wire encoding from an SCF result.
+// finiteOrNil maps NaN/Inf to nil so the value JSON-encodes as absent.
+func finiteOrNil(x float64) *float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return nil
+	}
+	return &x
+}
+
+func SummarizeSCF(res *scf.Result) *SCFSummary {
+	eng := integrals.NewEngine(res.Set)
+	return &SCFSummary{
+		Energy:      res.Energy,
+		EOne:        res.EOne,
+		ECoulomb:    res.ECoulomb,
+		EExchangeHF: res.EExchangeHF,
+		EXC:         res.EXC,
+		ENuclear:    res.ENuclear,
+		Converged:   res.Converged,
+		Iterations:  res.Iterations,
+		NBasis:      res.Set.NBasis,
+		HOMO:        finiteOrNil(res.HOMO()),
+		LUMO:        finiteOrNil(res.LUMO()),
+		Dipole:      scf.Dipole(res, eng),
+		Mulliken:    scf.MullikenCharges(res, eng),
+	}
+}
+
+// BuildSummary reports one Fock build (kind buildjk): compact matrix
+// fingerprints plus the builder's execution report.
+type BuildSummary struct {
+	NBasis           int     `json:"nbasis"`
+	NTasks           int     `json:"ntasks"`
+	QuartetsComputed int64   `json:"quartetsComputed"`
+	QuartetsScreened int64   `json:"quartetsScreened"`
+	BalanceRatio     float64 `json:"balanceRatio"`
+	WallNS           int64   `json:"wallNs"`
+	JNorm            float64 `json:"jNorm"`
+	KNorm            float64 `json:"kNorm"`
+	// ExchangeEnergy is −¼·tr(P·K) for the SAD guess density.
+	ExchangeEnergy float64 `json:"exchangeEnergy"`
+}
+
+// ScreenSummary reports screening statistics and the admission-time cost
+// prediction (kind screen).
+type ScreenSummary struct {
+	TotalPairs       int     `json:"totalPairs"`
+	DistanceSurvived int     `json:"distanceSurvived"`
+	SchwarzSurvived  int     `json:"schwarzSurvived"`
+	NTasks           int     `json:"ntasks"`
+	TotalCostNS      float64 `json:"totalCostNs"`
+	MakespanNS       float64 `json:"makespanNs"`
+	Threads          int     `json:"threads"`
+}
+
+// ScanPointJSON is one point of a solvent-scan profile, shared with
+// cmd/solvents -json.
+type ScanPointJSON struct {
+	R         float64 `json:"r"`      // constrained coordinate, bohr
+	Energy    float64 `json:"energy"` // hartree
+	Rel       float64 `json:"rel"`    // hartree, vs the first (farthest) point
+	Converged bool    `json:"converged"`
+}
+
+// ScanSummary is the result of a solvent-scan job: the approach profile
+// of Li2O2 towards the solvent's electrophilic centre and the depth of
+// the encounter well (the E8 stability gauge).
+type ScanSummary struct {
+	Solvent  string          `json:"solvent"`
+	Points   []ScanPointJSON `json:"points"`
+	WellKcal float64         `json:"wellKcal"`
+}
+
+// prepared is the admission-time state of a job: the resolved geometry,
+// instantiated basis, integral engine, screened pair list and task
+// decomposition. Workers reuse it so the screening work done to price
+// the job is not repeated for buildjk/screen kinds.
+type prepared struct {
+	mol   *chem.Molecule
+	set   *basis.Set
+	eng   *integrals.Engine
+	scr   *screen.Result
+	tasks []hfx.Task
+	// builderKey identifies the (geometry, basis, screening, options)
+	// combination a builder is specific to; workers reuse a live builder
+	// across consecutive jobs with the same key.
+	builderKey string
+	// totalNS/makespanNS are the cost-model predictions for one Fock
+	// build: serial cost and the LPT makespan on the server's builder
+	// thread count.
+	totalNS, makespanNS float64
+}
+
+// scfIterationsEstimate is the Fock-build count assumed when pricing an
+// SCF job: admission ordering needs relative, not absolute, accuracy.
+const scfIterationsEstimate = 15
+
+// prepare resolves, screens and prices a normalized request. The
+// returned predicted cost is in cost-model nanoseconds.
+func prepare(req *JobRequest, threads int, sopts screen.Options) (*prepared, float64, error) {
+	mol, err := req.resolveMolecule()
+	if err != nil {
+		return nil, 0, err
+	}
+	set, err := basis.Build(req.Basis, mol)
+	if err != nil {
+		return nil, 0, err
+	}
+	eng := integrals.NewEngine(set)
+	scr := screen.BuildPairList(eng, sopts)
+	cm := hfx.DefaultCostModel()
+	tasks := hfx.GenerateTasks(set, scr.Pairs, cm, 0)
+	costs := hfx.TaskCosts(tasks)
+	p := &prepared{
+		mol: mol, set: set, eng: eng, scr: scr, tasks: tasks,
+		totalNS:    sched.TotalCost(costs),
+		makespanNS: sched.PredictMakespan(sched.LPT, costs, max(threads, 1)),
+	}
+	p.builderKey = req.cacheKey(mol) // geometry+method hash doubles as builder identity
+	predicted := p.makespanNS
+	switch req.Kind {
+	case KindSCF:
+		predicted *= scfIterationsEstimate
+	case KindSolventScan:
+		predicted *= scfIterationsEstimate * float64(req.Points)
+	case KindScreen:
+		// All the work already happened here at admission.
+		predicted = 0
+	}
+	return p, predicted, nil
+}
+
+// jobState values.
+const (
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// frobenius returns the Frobenius norm of m.
+func frobenius(m *linalg.Matrix) float64 { return m.FrobeniusNorm() }
+
+// wellDepth returns the most negative relative energy of a profile in
+// kcal/mol (0 when the profile is purely repulsive).
+func wellDepth(pts []ScanPointJSON) float64 {
+	var well float64
+	for _, p := range pts {
+		if p.Converged && p.Rel < well {
+			well = p.Rel
+		}
+	}
+	return well * phys.HartreeToKcalMol
+}
+
+// retryAfterSeconds estimates how long a client should wait before
+// resubmitting when the queue is full: the queued predicted work divided
+// by the worker count, clamped to [1, 300] seconds.
+func retryAfterSeconds(queuedNS float64, workers int) int {
+	s := queuedNS / float64(max(workers, 1)) / float64(time.Second)
+	switch {
+	case s < 1:
+		return 1
+	case s > 300:
+		return 300
+	default:
+		return int(s + 0.5)
+	}
+}

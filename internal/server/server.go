@@ -1,0 +1,611 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hfxmd/internal/chem"
+	"hfxmd/internal/dft"
+	"hfxmd/internal/hfx"
+	"hfxmd/internal/scf"
+	"hfxmd/internal/screen"
+	"hfxmd/internal/trace"
+)
+
+// Config tunes an hfxd server. The zero value gets sensible defaults
+// from New.
+type Config struct {
+	// Workers is the number of job workers, each owning long-lived
+	// builder state (default 4).
+	Workers int
+	// QueueCap bounds the admission queue; a full queue answers 429 with
+	// Retry-After (default 64).
+	QueueCap int
+	// CacheCap bounds the LRU result cache in entries; a negative value
+	// disables caching (default 256).
+	CacheCap int
+	// BuilderThreads is the HFX thread count per builder. The default 1
+	// is right for a worker-parallel server: concurrency comes from jobs,
+	// not from intra-build threads.
+	BuilderThreads int
+	// DefaultTimeout caps jobs that do not set TimeoutMS (default 2m);
+	// MaxTimeout clamps client-requested deadlines (default 10m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// AgingNSPerSec is the starvation-aging rate of the admission queue
+	// in predicted-cost nanoseconds per second of wait (default 1e8: one
+	// queued second outweighs 100ms of predicted work).
+	AgingNSPerSec float64
+	// BeforeRun, if set, is invoked by each worker between dequeue and
+	// execution with the job kind — an observability seam also used by
+	// the lifecycle tests to hold workers at a known point.
+	BeforeRun func(kind string)
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 64
+	}
+	if c.CacheCap == 0 {
+		c.CacheCap = 256
+	}
+	if c.BuilderThreads == 0 {
+		c.BuilderThreads = 1
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 2 * time.Minute
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.AgingNSPerSec == 0 {
+		c.AgingNSPerSec = 1e8
+	}
+}
+
+// Server is the hfxd job service: a bounded cost-aware admission queue
+// in front of a fixed worker pool, an LRU result cache, and a metrics
+// registry merging server gauges with the builders' trace counters.
+// Create with New, expose with Handler, stop with Shutdown.
+type Server struct {
+	cfg   Config
+	reg   *trace.Registry
+	cache *lruCache
+	q     *queue
+	mux   *http.ServeMux
+
+	start    time.Time
+	nextID   atomic.Int64
+	nextSeq  atomic.Int64
+	draining atomic.Bool
+	workerWG sync.WaitGroup
+	shutOnce sync.Once
+}
+
+// latencyEdgesMS are the request-latency histogram buckets.
+var latencyEdgesMS = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
+
+// New starts a server: the worker pool runs immediately; attach
+// Handler() to an http.Server to accept jobs.
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:   cfg,
+		reg:   trace.NewRegistry(),
+		cache: newLRUCache(cfg.CacheCap),
+		q:     newQueue(cfg.QueueCap),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("/v1/systems", s.handleSystems)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	// Pre-create the instruments handlers touch so snapshots are stable.
+	for _, c := range []string{
+		"jobs.submitted", "jobs.executed", "jobs.done", "jobs.failed",
+		"jobs.cancelled", "jobs.rejected_full", "jobs.rejected_draining",
+		"cache.hits", "cache.misses", "builders.created", "builders.reused",
+	} {
+		s.reg.Counter(c)
+	}
+	for _, g := range []string{"jobs.queued", "jobs.running", "builders.open", "cache.entries"} {
+		s.reg.Gauge(g)
+	}
+	s.workerWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP interface of the server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's registry (shared with tests and the
+// /metrics endpoint).
+func (s *Server) Metrics() *trace.Registry { return s.reg }
+
+// QueueDepth reports the current number of queued jobs.
+func (s *Server) QueueDepth() int { return s.q.depth() }
+
+// Shutdown gracefully stops the server: admission is closed immediately
+// (submits answer 503), the workers drain every queued and in-flight
+// job, then close their builders and exit. It returns when the drain
+// completes or ctx expires, whichever is first; on expiry the workers
+// are left to finish in the background and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutOnce.Do(func() {
+		s.draining.Store(true)
+		s.q.drain()
+	})
+	done := make(chan struct{})
+	go func() { s.workerWG.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool.
+
+// workerState is the long-lived per-worker builder cache: a worker keeps
+// its most recent hfx.Builder (and the basis/engine it is bound to)
+// alive across jobs, so consecutive jobs on the same geometry and method
+// reuse the persistent pool instead of re-allocating it.
+type workerState struct {
+	key     string
+	builder *hfx.Builder
+	prep    *prepared
+}
+
+// close releases the cached builder, if any.
+func (st *workerState) close(reg *trace.Registry) {
+	if st.builder != nil {
+		st.builder.Close()
+		st.builder = nil
+		reg.Gauge("builders.open").Add(-1)
+	}
+}
+
+// builderFor returns a builder for the job's prepared state, reusing the
+// cached one when the builder key matches.
+func (st *workerState) builderFor(j *job, threads int, reg *trace.Registry) *hfx.Builder {
+	if st.builder != nil && st.key == j.prep.builderKey {
+		reg.Counter("builders.reused").Add(1)
+		return st.builder
+	}
+	st.close(reg)
+	opts := hfx.DefaultOptions()
+	opts.Threads = threads
+	opts.DensityWeighted = *j.req.DensityWeighted
+	st.builder = hfx.NewBuilder(j.prep.eng, j.prep.scr, opts)
+	st.key = j.prep.builderKey
+	st.prep = j.prep
+	reg.Counter("builders.created").Add(1)
+	reg.Gauge("builders.open").Add(1)
+	return st.builder
+}
+
+// worker is the persistent job loop: pop, execute, finish; on drain it
+// closes its builders and exits.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	var st workerState
+	defer st.close(s.reg)
+	for {
+		j, ok := s.q.pop()
+		if !ok {
+			return
+		}
+		s.reg.Gauge("jobs.queued").Add(-1)
+		queueMS := float64(time.Since(j.enq)) / float64(time.Millisecond)
+		s.reg.Histogram("job.queue_ms", latencyEdgesMS).Observe(queueMS)
+		if err := j.ctx.Err(); err != nil {
+			// Cancelled (client gone or deadline passed) while queued:
+			// never touches a builder.
+			s.finish(j, &JobResult{State: StateCancelled, Error: err.Error(), QueueMS: queueMS})
+			continue
+		}
+		if s.cfg.BeforeRun != nil {
+			s.cfg.BeforeRun(j.req.Kind)
+		}
+		s.reg.Gauge("jobs.running").Add(1)
+		t0 := time.Now()
+		res := s.execute(&st, j)
+		res.QueueMS = queueMS
+		res.RunMS = float64(time.Since(t0)) / float64(time.Millisecond)
+		s.reg.Gauge("jobs.running").Add(-1)
+		s.reg.Counter("jobs.executed").Add(1)
+		s.reg.Histogram("job.run_ms", latencyEdgesMS).Observe(res.RunMS)
+		s.finish(j, res)
+	}
+}
+
+// finish publishes the result, updates the state counters, stores done
+// results in the cache, and wakes the submitting handler.
+func (s *Server) finish(j *job, res *JobResult) {
+	res.ID = j.id
+	res.Kind = j.req.Kind
+	res.CacheKey = j.key
+	res.PredictedCostNS = j.predicted
+	switch res.State {
+	case StateDone:
+		s.reg.Counter("jobs.done").Add(1)
+		s.cache.put(j.key, *res)
+		s.reg.Gauge("cache.entries").Set(int64(s.cache.len()))
+	case StateFailed:
+		s.reg.Counter("jobs.failed").Add(1)
+	case StateCancelled:
+		s.reg.Counter("jobs.cancelled").Add(1)
+	}
+	j.result = res
+	close(j.done)
+	j.cancel()
+}
+
+// execute dispatches one job on this worker.
+func (s *Server) execute(st *workerState, j *job) *JobResult {
+	switch j.req.Kind {
+	case KindSCF:
+		return s.runSCF(j)
+	case KindBuildJK:
+		return s.runBuildJK(st, j)
+	case KindScreen:
+		return s.runScreen(j)
+	case KindSolventScan:
+		return s.runScan(j)
+	default: // unreachable: validate rejected it
+		return &JobResult{State: StateFailed, Error: "unknown kind " + j.req.Kind}
+	}
+}
+
+// scfConfig maps a request to the SCF driver configuration.
+func (s *Server) scfConfig(req *JobRequest) scf.Config {
+	f, _ := dft.ByName(req.Functional)
+	sopts := screen.DefaultOptions()
+	sopts.Threshold = req.Screen
+	hopts := hfx.DefaultOptions()
+	hopts.Threads = s.cfg.BuilderThreads
+	hopts.DensityWeighted = *req.DensityWeighted
+	return scf.Config{
+		Basis:      req.Basis,
+		Functional: f,
+		Screen:     sopts,
+		HFX:        hopts,
+		MaxIter:    req.MaxIter,
+	}
+}
+
+func (s *Server) runSCF(j *job) *JobResult {
+	res, err := scf.RunContext(j.ctx, j.prep.mol, s.scfConfig(&j.req))
+	if err != nil {
+		state := StateFailed
+		if j.ctx.Err() != nil {
+			state = StateCancelled
+		}
+		return &JobResult{State: state, Error: err.Error()}
+	}
+	s.mergeReport(res.HFXReport)
+	return &JobResult{State: StateDone, SCF: SummarizeSCF(res)}
+}
+
+func (s *Server) runBuildJK(st *workerState, j *job) *JobResult {
+	b := st.builderFor(j, s.cfg.BuilderThreads, s.reg)
+	p := scf.SADDensity(j.prep.set)
+	jm, km, rep := b.BuildJK(p)
+	s.mergeReport(rep)
+	return &JobResult{State: StateDone, Build: &BuildSummary{
+		NBasis:           j.prep.set.NBasis,
+		NTasks:           rep.NTasks,
+		QuartetsComputed: rep.QuartetsComputed,
+		QuartetsScreened: rep.QuartetsScreened,
+		BalanceRatio:     rep.BalanceRatio,
+		WallNS:           rep.Wall.Nanoseconds(),
+		JNorm:            frobenius(jm),
+		KNorm:            frobenius(km),
+		ExchangeEnergy:   hfx.ExchangeEnergy(p, km),
+	}}
+}
+
+func (s *Server) runScreen(j *job) *JobResult {
+	st := j.prep.scr.Stats
+	return &JobResult{State: StateDone, Screen: &ScreenSummary{
+		TotalPairs:       st.TotalPairs,
+		DistanceSurvived: st.DistanceSurvived,
+		SchwarzSurvived:  st.SchwarzSurvived,
+		NTasks:           len(j.prep.tasks),
+		TotalCostNS:      j.prep.totalNS,
+		MakespanNS:       j.prep.makespanNS,
+		Threads:          st.Threads,
+	}}
+}
+
+func (s *Server) runScan(j *job) *JobResult {
+	cfg := s.scfConfig(&j.req)
+	// The E8 profile needs the robust solver settings of cmd/solvents.
+	cfg.Damping, cfg.DampIters = 0.5, 8
+	cfg.LevelShift = 0.3
+	if cfg.MaxIter == 0 {
+		cfg.MaxIter = 120
+	}
+	req := &j.req
+	sum := &ScanSummary{Solvent: req.Solvent}
+	var ref float64
+	for i := 0; i < req.Points; i++ {
+		r := req.RMax + (req.RMin-req.RMax)*float64(i)/float64(req.Points-1)
+		mol, err := chem.SolvatedPeroxide(req.Solvent, r)
+		if err != nil {
+			return &JobResult{State: StateFailed, Error: err.Error()}
+		}
+		res, err := scf.RunContext(j.ctx, mol, cfg)
+		if err != nil {
+			if j.ctx.Err() != nil {
+				return &JobResult{State: StateCancelled, Error: err.Error(), Scan: sum}
+			}
+			return &JobResult{State: StateFailed, Error: err.Error(), Scan: sum}
+		}
+		s.mergeReport(res.HFXReport)
+		if i == 0 {
+			ref = res.Energy
+		}
+		sum.Points = append(sum.Points, ScanPointJSON{
+			R: r, Energy: res.Energy, Rel: res.Energy - ref, Converged: res.Converged,
+		})
+	}
+	sum.WellKcal = wellDepth(sum.Points)
+	return &JobResult{State: StateDone, Scan: sum}
+}
+
+// mergeReport folds one builder execution report into the server-level
+// registry: the pool/phase counters of the per-job builders become
+// cumulative service metrics next to the queue/cache gauges.
+func (s *Server) mergeReport(rep hfx.Report) {
+	s.reg.Counter("hfx.fock_builds").Add(max64(rep.Pool.Builds, 1))
+	s.reg.Counter("hfx.quartets_computed").Add(rep.QuartetsComputed)
+	s.reg.Counter("hfx.quartets_screened").Add(rep.QuartetsScreened)
+	s.reg.Counter("hfx.zero_ns").Add(int64(rep.Pool.ZeroTime))
+	s.reg.Counter("hfx.screen_wall_ns").Add(rep.ScreeningStats.Wall().Nanoseconds())
+	if rep.Timings != nil {
+		for _, p := range rep.Timings.Phases() {
+			s.reg.Timer.Charge("hfx."+p.Name, p.D)
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// HTTP handlers.
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	defer func() {
+		s.reg.Histogram("http.jobs_ms", latencyEdgesMS).
+			Observe(float64(time.Since(t0)) / float64(time.Millisecond))
+	}()
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	req.normalize()
+	if err := req.validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.reg.Counter("jobs.submitted").Add(1)
+
+	// Resolve the geometry once: the canonical hash serves the cache
+	// lookup and, on a miss, admission pricing.
+	mol, err := req.resolveMolecule()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := req.cacheKey(mol)
+	if res, ok := s.cache.get(key); ok {
+		s.reg.Counter("cache.hits").Add(1)
+		res.CacheHit = true
+		res.ID = s.newID()
+		res.QueueMS, res.RunMS = 0, 0
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	s.reg.Counter("cache.misses").Add(1)
+
+	if s.draining.Load() {
+		s.reg.Counter("jobs.rejected_draining").Add(1)
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+
+	// Admission pricing: screen the system and predict the job cost from
+	// the pair list (the paper's predictability claim, repurposed).
+	sopts := screen.DefaultOptions()
+	sopts.Threshold = req.Screen
+	prep, predicted, err := prepare(&req, s.cfg.BuilderThreads, sopts)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.reg.Histogram("job.predicted_ms", latencyEdgesMS).Observe(predicted / 1e6)
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	j := &job{
+		id: s.newID(), req: req, key: key,
+		prep: prep, predicted: predicted,
+		rank: predicted + s.cfg.AgingNSPerSec*time.Since(s.start).Seconds(),
+		seq:  s.nextSeq.Add(1),
+		enq:  time.Now(), ctx: ctx, cancel: cancel,
+		done: make(chan struct{}),
+	}
+	s.reg.Gauge("jobs.queued").Add(1)
+	if err := s.q.push(j); err != nil {
+		s.reg.Gauge("jobs.queued").Add(-1)
+		cancel()
+		if err == ErrDraining {
+			s.reg.Counter("jobs.rejected_draining").Add(1)
+			httpError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		s.reg.Counter("jobs.rejected_full").Add(1)
+		w.Header().Set("Retry-After",
+			strconv.Itoa(retryAfterSeconds(s.q.queuedCost()+predicted, s.cfg.Workers)))
+		httpError(w, http.StatusTooManyRequests, "admission queue full")
+		return
+	}
+
+	// The worker closes j.done in every path, including cancellation —
+	// a disconnected client's job still finishes (and fills the cache).
+	<-j.done
+	writeJSON(w, http.StatusOK, *j.result)
+}
+
+func (s *Server) newID() string {
+	return fmt.Sprintf("job-%06d", s.nextID.Add(1))
+}
+
+// handleSystems lists the built-in geometries and job kinds.
+func (s *Server) handleSystems(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"systems": []string{"water", "h2", "he", "lih", "lif", "ch4", "pc", "dmso", "li2o2", "watercluster"},
+		"kinds":   []string{KindSCF, KindBuildJK, KindScreen, KindSolventScan},
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// metricsSnapshot is the JSON form of /metrics?format=json.
+type metricsSnapshot struct {
+	UptimeSec  float64                   `json:"uptimeSec"`
+	Workers    int                       `json:"workers"`
+	QueueDepth int                       `json:"queueDepth"`
+	CacheRatio float64                   `json:"cacheHitRatio"`
+	Counters   map[string]int64          `json:"counters"`
+	Gauges     map[string]int64          `json:"gauges"`
+	Histograms map[string]map[string]any `json:"histograms"`
+	Phases     map[string]float64        `json:"phaseSeconds"`
+}
+
+func (s *Server) snapshot() metricsSnapshot {
+	snap := metricsSnapshot{
+		UptimeSec:  time.Since(s.start).Seconds(),
+		Workers:    s.cfg.Workers,
+		QueueDepth: s.q.depth(),
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]map[string]any{},
+		Phases:     map[string]float64{},
+	}
+	s.reg.Gauge("jobs.queued").Set(int64(snap.QueueDepth))
+	for _, c := range s.reg.Counters() {
+		snap.Counters[c.Name] = c.Value
+	}
+	for _, g := range s.reg.Gauges() {
+		snap.Gauges[g.Name] = g.Value
+	}
+	hits, misses := snap.Counters["cache.hits"], snap.Counters["cache.misses"]
+	if hits+misses > 0 {
+		snap.CacheRatio = float64(hits) / float64(hits+misses)
+	}
+	for _, h := range s.reg.Histograms() {
+		snap.Histograms[h.Name] = map[string]any{
+			"total": h.Total, "edges": h.Edges, "counts": h.Counts,
+		}
+	}
+	for _, p := range s.reg.Timer.Phases() {
+		snap.Phases[p.Name] = p.D.Seconds()
+	}
+	return snap
+}
+
+// handleMetrics merges the builders' trace counters with the server
+// gauges. Plain text by default; ?format=json for the structured form.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "# hfxd metrics (uptime %.1fs, %d workers, queue depth %d, cache hit ratio %.3f)\n",
+		snap.UptimeSec, snap.Workers, snap.QueueDepth, snap.CacheRatio)
+	writeSortedInt64 := func(kind string, m map[string]int64) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%-7s %-26s %d\n", kind, k, m[k])
+		}
+	}
+	writeSortedInt64("counter", snap.Counters)
+	writeSortedInt64("gauge", snap.Gauges)
+	for _, h := range s.reg.Histograms() {
+		hh := s.reg.Histogram(h.Name, h.Edges)
+		fmt.Fprintf(w, "%-7s %-26s n=%d p50<=%g p95<=%g\n",
+			"hist", h.Name, h.Total, hh.Quantile(0.5), hh.Quantile(0.95))
+	}
+	for _, p := range s.reg.Timer.Phases() {
+		fmt.Fprintf(w, "%-7s %-26s %v\n", "phase", p.Name, p.D)
+	}
+}
+
+// writeJSON marshals before writing the header, so an unencodable value
+// becomes a clean 500 instead of a 200 with a truncated body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding result: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,8 +1,8 @@
 // Package trace provides the lightweight performance instrumentation used
-// across hfxmd: concurrent counters, phase timers and fixed-bucket
-// histograms. It exists so that the execution reports (package hfx) and
-// the command-line tools can account where time goes without pulling in
-// any dependency.
+// across hfxmd: concurrent counters, gauges, phase timers and fixed-bucket
+// histograms. It exists so that the execution reports (package hfx), the
+// hfxd job service and the command-line tools can account where time goes
+// without pulling in any dependency.
 package trace
 
 import (
@@ -22,6 +22,19 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a concurrent instantaneous value (queue depth, open builders,
+// jobs in flight). Unlike a Counter it may go down and be overwritten.
+type Gauge struct{ v atomic.Int64 }
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // Timer accumulates wall-clock durations per named phase. It is safe for
 // concurrent use; overlapping phases accumulate independently.
@@ -106,14 +119,17 @@ func (t *Timer) String() string {
 	return s
 }
 
-// Registry is a named collection of counters plus a phase timer: the
-// metrics surface that long-lived pipeline objects (e.g. the persistent
-// HFX builder pool) expose through their execution reports. Counter
-// lookup by a constant name is allocation-free after the counter has
-// been created, so hot paths may call Counter per event.
+// Registry is a named collection of counters, gauges and histograms plus
+// a phase timer: the metrics surface that long-lived pipeline objects
+// (e.g. the persistent HFX builder pool, the hfxd job service) expose
+// through their execution reports and /metrics endpoints. Lookup by a
+// constant name is allocation-free after the instrument has been
+// created, so hot paths may call Counter/Gauge/Histogram per event.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
 	// Timer accumulates the per-phase wall clock of the current
 	// iteration; callers Reset it between iterations while the counters
 	// persist for the lifetime of the registry.
@@ -124,6 +140,8 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
 		Timer:    NewTimer(),
 	}
 }
@@ -138,6 +156,31 @@ func (r *Registry) Counter(name string) *Counter {
 	}
 	r.mu.Unlock()
 	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	r.mu.Unlock()
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// edges on first use; the edges of an existing histogram are kept.
+func (r *Registry) Histogram(name string, edges []float64) *Histogram {
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = NewHistogram(edges)
+		r.hists[name] = h
+	}
+	r.mu.Unlock()
+	return h
 }
 
 // CounterValue is one row of a Registry snapshot.
@@ -158,12 +201,61 @@ func (r *Registry) Counters() []CounterValue {
 	return rows
 }
 
-// String renders the counters and timer phases, counters first, both
-// sorted deterministically.
+// GaugeValue is one row of a Registry gauge snapshot.
+type GaugeValue struct {
+	Name  string
+	Value int64
+}
+
+// Gauges returns a snapshot of all gauges sorted by name.
+func (r *Registry) Gauges() []GaugeValue {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rows := make([]GaugeValue, 0, len(r.gauges))
+	for k, g := range r.gauges {
+		rows = append(rows, GaugeValue{Name: k, Value: g.Value()})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}
+
+// HistogramSnapshot is one row of a Registry histogram snapshot.
+type HistogramSnapshot struct {
+	Name   string
+	Edges  []float64
+	Counts []int64 // len(Edges)+1; last entry is overflow
+	Total  int64
+}
+
+// Histograms returns a snapshot of all histograms sorted by name.
+func (r *Registry) Histograms() []HistogramSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rows := make([]HistogramSnapshot, 0, len(r.hists))
+	for k, h := range r.hists {
+		rows = append(rows, HistogramSnapshot{
+			Name: k, Edges: h.Edges(), Counts: h.Counts(), Total: h.Total(),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}
+
+// String renders the counters, gauges, histogram quantiles and timer
+// phases, in that order, each sorted deterministically.
 func (r *Registry) String() string {
 	s := ""
 	for _, c := range r.Counters() {
 		s += fmt.Sprintf("%-24s %d\n", c.Name, c.Value)
+	}
+	for _, g := range r.Gauges() {
+		s += fmt.Sprintf("%-24s %d\n", g.Name, g.Value)
+	}
+	for _, h := range r.Histograms() {
+		r.mu.Lock()
+		hh := r.hists[h.Name]
+		r.mu.Unlock()
+		s += fmt.Sprintf("%-24s n=%d p50<=%g p95<=%g\n", h.Name, h.Total, hh.Quantile(0.5), hh.Quantile(0.95))
 	}
 	for _, p := range r.Timer.Phases() {
 		s += fmt.Sprintf("%-24s %v\n", p.Name, p.D)
@@ -196,6 +288,11 @@ func NewHistogram(edges []float64) *Histogram {
 func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.edges, v)
 	h.counts[i].Add(1)
+}
+
+// Edges returns a copy of the bucket upper edges.
+func (h *Histogram) Edges() []float64 {
+	return append([]float64(nil), h.edges...)
 }
 
 // Counts returns the per-bucket counts (last entry is overflow).

@@ -105,3 +105,91 @@ func TestHistogramConcurrent(t *testing.T) {
 		t.Fatalf("total %d", h.Total())
 	}
 }
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("gauge %d, want 4", g.Value())
+	}
+	g.Set(-2)
+	if g.Value() != -2 {
+		t.Fatalf("gauge %d, want -2", g.Value())
+	}
+}
+
+func TestRegistryGaugesAndHistograms(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("depth").Set(3)
+	if got := r.Gauge("depth").Value(); got != 3 {
+		t.Fatalf("gauge lookup %d, want 3", got)
+	}
+	h := r.Histogram("lat", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(100)
+	if h2 := r.Histogram("lat", []float64{99}); h2 != h {
+		t.Fatal("second Histogram lookup must return the same instance")
+	}
+	gs := r.Gauges()
+	if len(gs) != 1 || gs[0].Name != "depth" || gs[0].Value != 3 {
+		t.Fatalf("gauge snapshot %+v", gs)
+	}
+	hs := r.Histograms()
+	if len(hs) != 1 || hs[0].Total != 3 || len(hs[0].Counts) != 3 {
+		t.Fatalf("histogram snapshot %+v", hs)
+	}
+	if s := r.String(); s == "" {
+		t.Fatal("String() empty")
+	}
+}
+
+// TestRegistryConcurrentStress hammers one Registry from many goroutines
+// mixing hot-path writes (Add/Charge/Set/Observe) with snapshot reads —
+// the access pattern of the hfxd server, where every worker and every
+// HTTP handler shares the server registry. Run under -race it is the
+// data-race guard for the whole metrics surface.
+func TestRegistryConcurrentStress(t *testing.T) {
+	r := NewRegistry()
+	names := []string{"a", "b", "c", "d"}
+	const writers = 12
+	const iters = 400
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				n := names[(w+i)%len(names)]
+				r.Counter(n).Add(1)
+				r.Gauge(n).Add(1)
+				r.Histogram(n, []float64{1, 10, 100}).Observe(float64(i % 200))
+				r.Timer.Charge(n, time.Microsecond)
+				if i%50 == 0 {
+					// Snapshot paths race against the writers.
+					r.Counters()
+					r.Gauges()
+					r.Histograms()
+					r.Timer.Phases()
+					_ = r.String()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, c := range r.Counters() {
+		total += c.Value
+	}
+	if total != writers*iters {
+		t.Fatalf("counter sum %d, want %d", total, writers*iters)
+	}
+	var htotal int64
+	for _, h := range r.Histograms() {
+		htotal += h.Total
+	}
+	if htotal != writers*iters {
+		t.Fatalf("histogram total %d, want %d", htotal, writers*iters)
+	}
+}

@@ -1,11 +1,17 @@
 #!/bin/sh
-# Repository check: vet, build, race-enabled tests, and the steady-state
+# Repository check: vet, build, race-enabled tests, the steady-state
 # allocation guard (BenchmarkBuildJKPooled must report 0 allocs/op —
 # enforced in-suite by TestSteadyStateBuildAllocs, surfaced here for
-# inspection).
+# inspection), an explicit race pass over the hfxd job service (its
+# concurrency criteria: >= 8 parallel jobs, queue backpressure, drain,
+# no goroutine leak), and the hfxd end-to-end smoke test (boot on a
+# random port, cache hit on the second identical job, clean SIGTERM
+# drain).
 set -eux
 
 go vet ./...
 go build ./...
 go test -race ./...
 go test ./internal/hfx/ -run '^$' -bench 'BenchmarkBuildJKPooled$' -benchtime 3x
+go test -race -count=1 ./internal/server/ ./internal/trace/
+"$(dirname "$0")/smoke_hfxd.sh"
