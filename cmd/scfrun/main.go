@@ -35,6 +35,7 @@ func main() {
 		uhf        = flag.Bool("uhf", false, "spin-unrestricted SCF (HF only)")
 		mult       = flag.Int("mult", 0, "spin multiplicity 2S+1 for -uhf (0 = lowest)")
 		jsonOut    = flag.Bool("json", false, "emit the shared JSON result encoding (hfxd wire format)")
+		cacheMB    = flag.Int("cache-mb", 0, "semi-direct ERI block cache budget in MiB (0 = fully direct builds)")
 	)
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func main() {
 	scropt.Threshold = *eps
 	hfxopt := hfxmd.PaperExchangeOptions()
 	hfxopt.Threads = *threads
+	hfxopt.CacheBudgetBytes = int64(*cacheMB) << 20
 
 	if !*jsonOut {
 		fmt.Printf("System     : %s (%s), charge %d, %d electrons\n",
@@ -108,6 +110,11 @@ func main() {
 		res.HFXReport.Pool.Workers, res.HFXReport.Pool.BuffersAllocated,
 		float64(res.HFXReport.Pool.BufferBytes)/(1<<20),
 		res.HFXReport.Pool.Builds, res.HFXReport.Pool.ReuseHits)
+	if c := res.HFXReport.Cache; c.Enabled {
+		fmt.Printf("eri cache  : %d quartets admitted (%.1f/%.1f MiB), last build %d hits / %d misses (%.0f%% hit)\n",
+			c.AdmittedQuartets, float64(c.UsedBytes)/(1<<20), float64(c.BudgetBytes)/(1<<20),
+			c.Hits, c.Misses, 100*c.HitRatio())
+	}
 	fmt.Printf("accounting (last build + pool lifetime):\n%s", res.HFXReport.PhaseTable())
 
 	mu := hfxmd.DipoleMoment(res)

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hfxmd/internal/basis"
 	"hfxmd/internal/integrals"
 	"hfxmd/internal/linalg"
 	"hfxmd/internal/qpx"
@@ -42,6 +43,18 @@ type Options struct {
 	Dynamic bool
 	// Cost overrides the cost model (zero value = DefaultCostModel).
 	Cost CostModel
+	// CacheBudgetBytes enables semi-direct builds: up to this many bytes
+	// of surviving ERI quartet blocks are cached on first evaluation and
+	// replayed (re-contracted against the new density, skipping integral
+	// evaluation) on later builds. Zero disables the cache (fully direct).
+	// Admission is priority-ordered by Schwarz bound × predicted block
+	// cost; see internal/hfx/ericache.go.
+	CacheBudgetBytes int64
+	// NoEarlyExit disables the sorted-pair early exit in the quartet loop
+	// (the ket list is sorted by descending Q, so a failed Schwarz product
+	// normally terminates the whole ket range). Ablation/testing knob; the
+	// results are bitwise identical either way.
+	NoEarlyExit bool
 }
 
 // DefaultOptions returns the paper's production configuration.
@@ -89,6 +102,9 @@ type Report struct {
 	Metrics *trace.Registry
 	// Pool summarises the persistent worker pool's state.
 	Pool PoolStats
+	// Cache summarises the semi-direct ERI block cache for this build.
+	// Cache.Enabled is false for fully direct builders.
+	Cache CacheStats
 }
 
 // PoolStats describes the persistent worker pool behind a Builder.
@@ -109,6 +125,9 @@ type PoolStats struct {
 	// ZeroTime is the cumulative CPU time workers spent zeroing their
 	// accumulators across all builds (summed over workers).
 	ZeroTime time.Duration
+	// CacheSlabBytes is the payload capacity of the semi-direct ERI cache
+	// slabs (0 when the cache is disabled). Included in BufferBytes.
+	CacheSlabBytes int64
 }
 
 // String renders a one-line summary.
@@ -177,10 +196,12 @@ type pool struct {
 	eriBufs [][]float64
 	scratch []*integrals.Scratch
 	reg     *trace.Registry
+	cache   *eriCache // nil when Options.CacheBudgetBytes admitted nothing
 
 	// Per-build state, written by the coordinator before workers are
 	// woken (the wake-channel send establishes the happens-before edge).
 	p        *linalg.Matrix
+	pmaxAll  float64 // max |P| over the whole density (density-weighted runs)
 	stats    *qpx.Stats // points at qstats when Vector, else nil
 	qstats   qpx.Stats
 	computed atomic.Int64
@@ -188,6 +209,12 @@ type pool struct {
 	next     atomic.Int64
 	phase    int
 	stride   int
+
+	// Per-build cache traffic, folded into the ericache.* counters and
+	// Report.Cache at the end of BuildJK.
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheFillBytes atomic.Int64
 
 	wake []chan struct{}
 	done sync.WaitGroup
@@ -242,6 +269,10 @@ func NewBuilder(eng *integrals.Engine, scr *screen.Result, opts Options) *Builde
 	if opts.Vector {
 		pl.stats = &pl.qstats
 	}
+	if opts.CacheBudgetBytes > 0 {
+		pl.cache = newERICache(eng.Basis, scr.Pairs, pl.tasks, pl.asn,
+			opts.Cost, opts.CacheBudgetBytes)
+	}
 
 	// Pre-create every counter the hot path touches so steady-state
 	// lookups never insert into the registry map.
@@ -251,6 +282,15 @@ func NewBuilder(eng *integrals.Engine, scr *screen.Result, opts Options) *Builde
 	pl.reg.Counter("pool.reuse_hits")
 	pl.reg.Counter("pool.zero_ns")
 	pl.reg.Counter("screen.wall_ns").Add(scr.Stats.Wall().Nanoseconds())
+	if pl.cache != nil {
+		pl.reg.Counter("pool.buffers_alloc").Add(int64(len(pl.cache.shards)))
+		pl.reg.Counter("pool.buffer_bytes").Add(pl.cache.slabBytes())
+		pl.reg.Counter("ericache.hits")
+		pl.reg.Counter("ericache.misses")
+		pl.reg.Counter("ericache.bytes")
+		pl.reg.Counter("ericache.evictions")
+		pl.reg.Counter("ericache.admitted").Add(pl.cache.admitted)
+	}
 
 	pl.wake = make([]chan struct{}, nw)
 	pl.quit = make(chan struct{})
@@ -330,11 +370,11 @@ func (pl *pool) compute(w int) {
 			if i >= len(pl.order) {
 				return
 			}
-			pl.runTask(&pl.tasks[pl.order[i]], jw, kw, buf, sc)
+			pl.runTask(pl.order[i], jw, kw, buf, sc)
 		}
 	}
 	for _, ti := range pl.asn.Workers[w] {
-		pl.runTask(&pl.tasks[ti], jw, kw, buf, sc)
+		pl.runTask(ti, jw, kw, buf, sc)
 	}
 }
 
@@ -377,6 +417,23 @@ func (b *Builder) BuildJK(p *linalg.Matrix) (j, k *linalg.Matrix, rep Report) {
 	pl.screened.Store(0)
 	pl.next.Store(0)
 	pl.qstats.Reset()
+	pl.cacheHits.Store(0)
+	pl.cacheMisses.Store(0)
+	pl.cacheFillBytes.Store(0)
+	pl.pmaxAll = 0
+	if pl.opts.DensityWeighted {
+		// One pass over P gives a global density bound; with the ket list
+		// sorted by descending Q it turns the density-weighted test into a
+		// monotone early-exit pre-check (see runTask).
+		for _, v := range p.Data {
+			if v < 0 {
+				v = -v
+			}
+			if v > pl.pmaxAll {
+				pl.pmaxAll = v
+			}
+		}
+	}
 
 	pl.phase = phaseCompute
 	t0 := time.Now()
@@ -422,6 +479,20 @@ func (b *Builder) BuildJK(p *linalg.Matrix) (j, k *linalg.Matrix, rep Report) {
 	if pl.opts.Vector {
 		rep.LaneUtilization = pl.qstats.Utilization()
 	}
+	rep.Cache.BudgetBytes = pl.opts.CacheBudgetBytes
+	if pl.cache != nil {
+		pl.reg.Counter("ericache.hits").Add(pl.cacheHits.Load())
+		pl.reg.Counter("ericache.misses").Add(pl.cacheMisses.Load())
+		pl.reg.Counter("ericache.bytes").Add(pl.cacheFillBytes.Load())
+		rep.Cache.Enabled = true
+		rep.Cache.UsedBytes = pl.cache.usedBytes
+		rep.Cache.AdmittedQuartets = pl.cache.admitted
+		rep.Cache.ResidentBlocks = pl.cache.filled.Load()
+		rep.Cache.Hits = pl.cacheHits.Load()
+		rep.Cache.Misses = pl.cacheMisses.Load()
+		rep.Cache.Evictions = pl.cache.evictions.Load()
+		rep.Pool.CacheSlabBytes = pl.cache.slabBytes()
+	}
 	// Keep the builder (and thus its finalizer) from being collected
 	// while a build is mid-flight on the pool it owns.
 	runtime.KeepAlive(b)
@@ -442,90 +513,205 @@ var eriPerms = [8][4]int{
 	{3, 2, 1, 0}, // dcba
 }
 
+// scatterPerm is one distinct permutation image of a quartet symmetry
+// class, prepared for the flat scatter kernel: the image contributes
+// J[g(s0),g(s1)] += P[g(s2),g(in)]·v and K[g(s0),g(s2)] += P[g(s1),g(in)]·v,
+// where slot in = perm[3] is kept innermost so both updates become dot
+// products over a contiguous P row. o0 < o1 < o2 are the remaining slots.
+type scatterPerm struct {
+	s0, s1, s2, in int
+	o0, o1, o2     int
+}
+
+// classScatter holds the deduplicated permutation images per quartet
+// symmetry class, computed once at package init instead of per quartet per
+// build. With canonical pairs (A ≤ B, guaranteed by screen.BuildPairList)
+// the duplicate structure of the 8 images depends only on three booleans:
+// a==b (bit 0), c==d (bit 1), (a,b)==(c,d) (bit 2).
+var classScatter [8][]scatterPerm
+
+func init() {
+	for ci := range classScatter {
+		// Representative shell tuple for the class: distinct values except
+		// for the equalities the class encodes.
+		a, b, c, d := 0, 1, 2, 3
+		if ci&1 != 0 {
+			b = a
+		}
+		if ci&2 != 0 {
+			d = c
+		}
+		if ci&4 != 0 {
+			c, d = a, b
+		}
+		rep := [4]int{a, b, c, d}
+		var images [8][4]int
+		nimg := 0
+		for _, perm := range eriPerms {
+			img := [4]int{rep[perm[0]], rep[perm[1]], rep[perm[2]], rep[perm[3]]}
+			dup := false
+			for i := 0; i < nimg; i++ {
+				if images[i] == img {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			images[nimg] = img
+			nimg++
+			sp := scatterPerm{s0: perm[0], s1: perm[1], s2: perm[2], in: perm[3]}
+			outs := [3]*int{&sp.o0, &sp.o1, &sp.o2}
+			oi := 0
+			for s := 0; s < 4; s++ {
+				if s != sp.in {
+					*outs[oi] = s
+					oi++
+				}
+			}
+			classScatter[ci] = append(classScatter[ci], sp)
+		}
+	}
+}
+
 // runTask executes one task: loops its quartets, applies the quartet-level
-// screen, evaluates surviving blocks, and scatters them into the private
-// J/K buffers via the distinct permutation images.
-func (pl *pool) runTask(t *Task, jw, kw *linalg.Matrix, buf []float64, sc *integrals.Scratch) {
+// screen with an early exit over the Q-sorted ket range, fetches or
+// evaluates surviving blocks (semi-direct replay when cached), and scatters
+// them into the private J/K buffers.
+func (pl *pool) runTask(ti int, jw, kw *linalg.Matrix, buf []float64, sc *integrals.Scratch) {
+	t := &pl.tasks[ti]
 	set := pl.eng.Basis
 	p := pl.p
 	bra := pl.scr.Pairs[t.Bra]
+	var slots []int32
+	var shard *cacheShard
+	if pl.cache != nil {
+		slots = pl.cache.taskSlots[ti]
+		shard = &pl.cache.shards[pl.cache.taskShard[ti]]
+	}
+	dw := pl.opts.DensityWeighted
+	noEarly := pl.opts.NoEarlyExit
 	for ji := t.KetLo; ji < t.KetHi; ji++ {
 		ket := pl.scr.Pairs[ji]
-		if pl.opts.DensityWeighted {
-			pmax := screen.MaxDensityAbs(set, p, bra.A, bra.B, ket.A, ket.B)
-			// Both the J and K contractions multiply the integral by a
-			// density element; bound with the larger of the coupling
-			// blocks and the bra/ket diagonal blocks used by J.
-			pj := screen.MaxDensityAbs(set, p, bra.A, ket.A, bra.B, ket.B)
-			if pj > pmax {
-				pmax = pj
+		if dw {
+			// The ket range ascends through pairs sorted by descending Q,
+			// so the Schwarz product only shrinks: once the conservative
+			// global-density bound fails, every remaining quartet fails
+			// the (tighter) local test too.
+			if !noEarly && !pl.scr.QuartetSurvivesWeighted(bra, ket, pl.pmaxAll) {
+				pl.screened.Add(int64(t.KetHi - ji))
+				break
 			}
+			pmax := screen.MaxDensityAbsQuartet(set, p, bra.A, bra.B, ket.A, ket.B)
 			if !pl.scr.QuartetSurvivesWeighted(bra, ket, pmax) {
 				pl.screened.Add(1)
 				continue
 			}
 		} else if !pl.scr.QuartetSurvives(bra, ket) {
-			pl.screened.Add(1)
-			continue
+			if noEarly {
+				pl.screened.Add(1)
+				continue
+			}
+			pl.screened.Add(int64(t.KetHi - ji))
+			break
 		}
 		pl.computed.Add(1)
-		scatterQuartet(pl.eng, bra.A, bra.B, ket.A, ket.B, p, jw, kw, buf,
-			pl.opts.Vector, pl.stats, sc)
+		a, b, c, d := bra.A, bra.B, ket.A, ket.B
+		if shard != nil {
+			if slot := slots[ji-t.KetLo]; slot >= 0 {
+				off := shard.offs[slot]
+				blk := shard.slab[off : off+int64(shard.lens[slot])]
+				if shard.filled[slot] {
+					pl.cacheHits.Add(1)
+				} else {
+					// Fill on first compute: evaluate straight into the
+					// slab so the scatter below reads the cached copy.
+					pl.eng.ERIShellScratch(a, b, c, d, blk, pl.opts.Vector, pl.stats, sc)
+					shard.filled[slot] = true
+					pl.cache.filled.Add(1)
+					pl.cacheFillBytes.Add(int64(len(blk)) * 8)
+					pl.cacheMisses.Add(1)
+				}
+				scatterBlock(set, a, b, c, d, blk, p, jw, kw)
+				continue
+			}
+			pl.cacheMisses.Add(1)
+		}
+		blk := buf[:eriBlockLen(set, a, b, c, d)]
+		pl.eng.ERIShellScratch(a, b, c, d, blk, pl.opts.Vector, pl.stats, sc)
+		scatterBlock(set, a, b, c, d, blk, p, jw, kw)
 	}
 }
 
-// scatterQuartet evaluates (ab|cd) once and adds its contributions to J
-// and K for every distinct permutation image.
-func scatterQuartet(eng *integrals.Engine, a, b, c, d int,
-	p, jw, kw *linalg.Matrix, buf []float64,
-	vector bool, st *qpx.Stats, sc *integrals.Scratch) {
-	set := eng.Basis
-	shells := [4]int{a, b, c, d}
-	var ns [4]int
-	var offs [4]int
-	for s := 0; s < 4; s++ {
-		shp := &set.Shells[shells[s]]
-		ns[s] = shp.NFuncs()
-		offs[s] = shp.Index
+// scatterBlock adds the contributions of the evaluated (ab|cd) block to J
+// and K for every distinct permutation image of the quartet's symmetry
+// class. The inner loop runs over original slot in = perm[3], which fixes
+// the J and K target elements, so both updates reduce to dot products of
+// the block row against hoisted P-row slices — no per-element At/Add calls.
+func scatterBlock(set *basis.Set, a, b, c, d int, blk []float64,
+	p, jw, kw *linalg.Matrix) {
+	ci := 0
+	if a == b {
+		ci |= 1
 	}
-	blk := buf[:ns[0]*ns[1]*ns[2]*ns[3]]
-	eng.ERIShellScratch(a, b, c, d, blk, vector, st, sc)
+	if c == d {
+		ci |= 2
+	}
+	if a == c && b == d {
+		ci |= 4
+	}
+	perms := classScatter[ci]
 
-	// Distinct images of the shell tuple under the 8 permutations.
-	var images [8][4]int
-	nimg := 0
-	for _, perm := range eriPerms {
-		img := [4]int{shells[perm[0]], shells[perm[1]], shells[perm[2]], shells[perm[3]]}
-		dup := false
-		for i := 0; i < nimg; i++ {
-			if images[i] == img {
-				dup = true
-				break
-			}
+	sha, shb := &set.Shells[a], &set.Shells[b]
+	shc, shd := &set.Shells[c], &set.Shells[d]
+	offs := [4]int{sha.Index, shb.Index, shc.Index, shd.Index}
+
+	if len(blk) == 1 {
+		// ssss fast path: one integral, direct scalar updates.
+		v := blk[0]
+		for i := range perms {
+			sp := &perms[i]
+			jw.Row(offs[sp.s0])[offs[sp.s1]] += p.Row(offs[sp.s2])[offs[sp.in]] * v
+			kw.Row(offs[sp.s0])[offs[sp.s2]] += p.Row(offs[sp.s1])[offs[sp.in]] * v
 		}
-		if dup {
-			continue
-		}
-		images[nimg] = img
-		nimg++
-		// Scatter this image: image slot k holds original slot perm[k].
-		var f [4]int
-		for f[0] = 0; f[0] < ns[0]; f[0]++ {
-			for f[1] = 0; f[1] < ns[1]; f[1]++ {
-				for f[2] = 0; f[2] < ns[2]; f[2]++ {
-					base := ((f[0]*ns[1]+f[1])*ns[2] + f[2]) * ns[3]
-					for f[3] = 0; f[3] < ns[3]; f[3]++ {
-						v := blk[base+f[3]]
-						if v == 0 {
-							continue
+		return
+	}
+
+	ns := [4]int{sha.NFuncs(), shb.NFuncs(), shc.NFuncs(), shd.NFuncs()}
+	st := [4]int{ns[1] * ns[2] * ns[3], ns[2] * ns[3], ns[3], 1}
+	for i := range perms {
+		sp := &perms[i]
+		o0, o1, o2, in := sp.o0, sp.o1, sp.o2, sp.in
+		nin, stin, offin := ns[in], st[in], offs[in]
+		var g [4]int
+		for f0 := 0; f0 < ns[o0]; f0++ {
+			g[o0] = offs[o0] + f0
+			base0 := f0 * st[o0]
+			for f1 := 0; f1 < ns[o1]; f1++ {
+				g[o1] = offs[o1] + f1
+				base1 := base0 + f1*st[o1]
+				for f2 := 0; f2 < ns[o2]; f2++ {
+					g[o2] = offs[o2] + f2
+					bi := base1 + f2*st[o2]
+					pj := p.Row(g[sp.s2])[offin : offin+nin]
+					pk := p.Row(g[sp.s1])[offin : offin+nin]
+					var js, ks float64
+					if stin == 1 {
+						for f, v := range blk[bi : bi+nin] {
+							js += pj[f] * v
+							ks += pk[f] * v
 						}
-						g0 := offs[perm[0]] + f[perm[0]]
-						g1 := offs[perm[1]] + f[perm[1]]
-						g2 := offs[perm[2]] + f[perm[2]]
-						g3 := offs[perm[3]] + f[perm[3]]
-						jw.Add(g0, g1, p.At(g2, g3)*v)
-						kw.Add(g0, g2, p.At(g1, g3)*v)
+					} else {
+						for f := 0; f < nin; f++ {
+							v := blk[bi]
+							bi += stin
+							js += pj[f] * v
+							ks += pk[f] * v
+						}
 					}
+					jw.Row(g[sp.s0])[g[sp.s1]] += js
+					kw.Row(g[sp.s0])[g[sp.s2]] += ks
 				}
 			}
 		}

@@ -297,6 +297,43 @@ func TestIncrementalFockMatchesDirect(t *testing.T) {
 	}
 }
 
+func TestSemiDirectSCFMatchesDirect(t *testing.T) {
+	// Semi-direct builds (hfx.Options.CacheBudgetBytes) replay cached ERI
+	// blocks instead of re-evaluating them; the SCF trajectory must be
+	// unchanged to machine precision, with and without Incremental.
+	cached := hfx.DefaultOptions()
+	cached.CacheBudgetBytes = 64 << 20
+	for _, inc := range []bool{false, true} {
+		direct, err := Run(chem.Water(), Config{Incremental: inc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		semi, err := Run(chem.Water(), Config{Incremental: inc, HFX: cached})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !semi.Converged {
+			t.Fatalf("inc=%v: semi-direct SCF did not converge", inc)
+		}
+		if d := math.Abs(direct.Energy - semi.Energy); d > 1e-12 {
+			t.Fatalf("inc=%v: semi-direct energy differs by %g", inc, d)
+		}
+		if semi.Iterations != direct.Iterations {
+			t.Fatalf("inc=%v: iteration count diverged: %d vs %d",
+				inc, semi.Iterations, direct.Iterations)
+		}
+		rep := semi.HFXReport
+		if !rep.Cache.Enabled {
+			t.Fatalf("inc=%v: cache not enabled in final report", inc)
+		}
+		// The final incremental iteration may screen away every quartet
+		// (ΔP→0), so check the lifetime hit counter, not the last build's.
+		if rep.Metrics.Counter("ericache.hits").Value() == 0 {
+			t.Fatalf("inc=%v: SCF never replayed from the cache", inc)
+		}
+	}
+}
+
 func TestIncrementalScreensMoreAsSCFConverges(t *testing.T) {
 	// The whole point of ΔP builds: the density-weighted screen discards
 	// more quartets in later iterations because ΔP shrinks.

@@ -244,3 +244,36 @@ func MaxDensityAbs(set *basis.Set, p *linalg.Matrix, a, b, c, d int) float64 {
 	}
 	return m
 }
+
+// MaxDensityAbsQuartet returns the fused density bound for the quartet
+// (ab|cd): the maximum of MaxDensityAbs(a,b,c,d) (exchange coupling
+// blocks) and MaxDensityAbs(a,c,b,d) (the Coulomb-relevant bra/ket blocks)
+// computed in one pass. The union of the two four-block scans is seven
+// distinct blocks — (a,c) appears in both — so the fused form does the
+// same work as 1¾ calls instead of 2, and saves the call overhead in the
+// screening hot loop.
+func MaxDensityAbsQuartet(set *basis.Set, p *linalg.Matrix, a, b, c, d int) float64 {
+	var m float64
+	blockMax := func(s1, s2 int) {
+		sh1, sh2 := &set.Shells[s1], &set.Shells[s2]
+		lo, hi := sh2.Index, sh2.Index+sh2.NFuncs()
+		for i := sh1.Index; i < sh1.Index+sh1.NFuncs(); i++ {
+			row := p.Row(i)
+			for j := lo; j < hi; j++ {
+				if v := math.Abs(row[j]); v > m {
+					m = v
+				}
+			}
+		}
+	}
+	// MaxDensityAbs(a,b,c,d) blocks: (a,c) (a,d) (b,c) (b,d).
+	blockMax(a, c)
+	blockMax(a, d)
+	blockMax(b, c)
+	blockMax(b, d)
+	// MaxDensityAbs(a,c,b,d) adds: (a,b) (c,b) (c,d); (a,d) is shared.
+	blockMax(a, b)
+	blockMax(c, b)
+	blockMax(c, d)
+	return m
+}

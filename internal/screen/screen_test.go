@@ -119,6 +119,37 @@ func TestMaxDensityAbs(t *testing.T) {
 	}
 }
 
+// TestMaxDensityAbsQuartetMatchesTwoCalls: the fused bound must equal the
+// max of the two MaxDensityAbs calls it replaces in the HFX hot loop, for
+// every quartet of an asymmetric dense matrix.
+func TestMaxDensityAbsQuartetMatchesTwoCalls(t *testing.T) {
+	eng := waterEngine(1)
+	n := eng.Basis.NBasis
+	p := linalg.NewSquare(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p.Set(i, j, math.Sin(float64(3*i+7*j+1))*float64(1+i-j))
+		}
+	}
+	ns := len(eng.Basis.Shells)
+	for a := 0; a < ns; a++ {
+		for b := a; b < ns; b++ {
+			for c := 0; c < ns; c++ {
+				for d := c; d < ns; d++ {
+					want := MaxDensityAbs(eng.Basis, p, a, b, c, d)
+					if w2 := MaxDensityAbs(eng.Basis, p, a, c, b, d); w2 > want {
+						want = w2
+					}
+					got := MaxDensityAbsQuartet(eng.Basis, p, a, b, c, d)
+					if got != want {
+						t.Fatalf("quartet (%d%d|%d%d): fused %g, two-call %g", a, b, c, d, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestPeriodicMinimumImageScreening(t *testing.T) {
 	// In a periodic box, shells near opposite faces are close under the
 	// minimum-image convention: the distance pre-screen must keep them,

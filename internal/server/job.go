@@ -65,6 +65,12 @@ type JobRequest struct {
 	DensityWeighted *bool `json:"densityWeighted,omitempty"`
 	// MaxIter bounds the SCF iterations (default 100).
 	MaxIter int `json:"maxIter,omitempty"`
+	// CacheMB enables semi-direct Fock builds: a per-builder ERI block
+	// cache of up to this many MiB replays surviving integral blocks
+	// across SCF iterations instead of recomputing them (0 = fully
+	// direct). It never changes the numbers, only the speed, so it is
+	// part of the builder identity but not of the result cache key.
+	CacheMB int `json:"cacheMb,omitempty"`
 	// TimeoutMS is the per-job deadline in milliseconds (0 = server
 	// default). The deadline is checked between SCF iterations.
 	TimeoutMS int64 `json:"timeoutMs,omitempty"`
@@ -146,6 +152,9 @@ func (r *JobRequest) validate() error {
 	}
 	if r.Screen < 0 {
 		return fmt.Errorf("negative screening threshold %g", r.Screen)
+	}
+	if r.CacheMB < 0 {
+		return fmt.Errorf("negative cacheMb %d", r.CacheMB)
 	}
 	return nil
 }
@@ -305,6 +314,10 @@ type BuildSummary struct {
 	KNorm            float64 `json:"kNorm"`
 	// ExchangeEnergy is −¼·tr(P·K) for the SAD guess density.
 	ExchangeEnergy float64 `json:"exchangeEnergy"`
+	// EriCacheHits/Misses report the semi-direct ERI block cache traffic
+	// of this build (absent for fully direct builders, cacheMb = 0).
+	EriCacheHits   int64 `json:"eriCacheHits,omitempty"`
+	EriCacheMisses int64 `json:"eriCacheMisses,omitempty"`
 }
 
 // ScreenSummary reports screening statistics and the admission-time cost
@@ -382,7 +395,9 @@ func prepare(req *JobRequest, threads int, sopts screen.Options) (*prepared, flo
 		totalNS:    sched.TotalCost(costs),
 		makespanNS: sched.PredictMakespan(sched.LPT, costs, max(threads, 1)),
 	}
-	p.builderKey = req.cacheKey(mol) // geometry+method hash doubles as builder identity
+	// The geometry+method hash doubles as builder identity; the ERI cache
+	// budget shapes the builder (not the result), so it extends the key.
+	p.builderKey = fmt.Sprintf("%s;cachemb=%d", req.cacheKey(mol), req.CacheMB)
 	predicted := p.makespanNS
 	switch req.Kind {
 	case KindSCF:

@@ -192,6 +192,7 @@ func (st *workerState) builderFor(j *job, threads int, reg *trace.Registry) *hfx
 	opts := hfx.DefaultOptions()
 	opts.Threads = threads
 	opts.DensityWeighted = *j.req.DensityWeighted
+	opts.CacheBudgetBytes = int64(j.req.CacheMB) << 20
 	st.builder = hfx.NewBuilder(j.prep.eng, j.prep.scr, opts)
 	st.key = j.prep.builderKey
 	st.prep = j.prep
@@ -281,6 +282,7 @@ func (s *Server) scfConfig(req *JobRequest) scf.Config {
 	hopts := hfx.DefaultOptions()
 	hopts.Threads = s.cfg.BuilderThreads
 	hopts.DensityWeighted = *req.DensityWeighted
+	hopts.CacheBudgetBytes = int64(req.CacheMB) << 20
 	return scf.Config{
 		Basis:      req.Basis,
 		Functional: f,
@@ -318,6 +320,8 @@ func (s *Server) runBuildJK(st *workerState, j *job) *JobResult {
 		JNorm:            frobenius(jm),
 		KNorm:            frobenius(km),
 		ExchangeEnergy:   hfx.ExchangeEnergy(p, km),
+		EriCacheHits:     rep.Cache.Hits,
+		EriCacheMisses:   rep.Cache.Misses,
 	}}
 }
 
@@ -379,6 +383,10 @@ func (s *Server) mergeReport(rep hfx.Report) {
 	s.reg.Counter("hfx.quartets_screened").Add(rep.QuartetsScreened)
 	s.reg.Counter("hfx.zero_ns").Add(int64(rep.Pool.ZeroTime))
 	s.reg.Counter("hfx.screen_wall_ns").Add(rep.ScreeningStats.Wall().Nanoseconds())
+	if rep.Cache.Enabled {
+		s.reg.Counter("hfx.ericache.hits").Add(rep.Cache.Hits)
+		s.reg.Counter("hfx.ericache.misses").Add(rep.Cache.Misses)
+	}
 	if rep.Timings != nil {
 		for _, p := range rep.Timings.Phases() {
 			s.reg.Timer.Charge("hfx."+p.Name, p.D)

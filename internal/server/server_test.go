@@ -270,6 +270,41 @@ func TestServerScreenAndBuildJKWithBuilderReuse(t *testing.T) {
 	}
 }
 
+func TestServerSemiDirectBuildJK(t *testing.T) {
+	s := New(Config{Workers: 1, CacheCap: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Shutdown(context.Background())
+
+	// cacheMb=0 vs cacheMb=64 are different builders (distinct builder
+	// keys) but must produce identical numbers.
+	direct := submit(t, ts, JobRequest{Kind: KindBuildJK, System: "water"})
+	b1 := submit(t, ts, JobRequest{Kind: KindBuildJK, System: "water", CacheMB: 64})
+	if b1.State != StateDone || b1.Build == nil {
+		t.Fatalf("semi-direct buildjk: %+v", b1)
+	}
+	if b1.Build.EriCacheHits != 0 || b1.Build.EriCacheMisses == 0 {
+		t.Fatalf("cold cache traffic: hits=%d misses=%d",
+			b1.Build.EriCacheHits, b1.Build.EriCacheMisses)
+	}
+	b2 := submit(t, ts, JobRequest{Kind: KindBuildJK, System: "water", CacheMB: 64})
+	if b2.Build.EriCacheHits == 0 || b2.Build.EriCacheMisses != 0 {
+		t.Fatalf("warm cache traffic: hits=%d misses=%d",
+			b2.Build.EriCacheHits, b2.Build.EriCacheMisses)
+	}
+	if b2.Build.KNorm != direct.Build.KNorm || b2.Build.JNorm != direct.Build.JNorm {
+		t.Fatal("semi-direct replay must match the direct build")
+	}
+	if got := counter(s, "hfx.ericache.hits"); got != b2.Build.EriCacheHits {
+		t.Fatalf("hfx.ericache.hits %d, want %d merged into /metrics", got, b2.Build.EriCacheHits)
+	}
+	// cacheMb participates in the builder key: direct + semi-direct on one
+	// worker means two builders were created, plus one warm reuse.
+	if created, reused := counter(s, "builders.created"), counter(s, "builders.reused"); created != 2 || reused != 1 {
+		t.Fatalf("builder lifecycle: created=%d reused=%d, want 2/1", created, reused)
+	}
+}
+
 func TestServerJobDeadline(t *testing.T) {
 	s := New(Config{Workers: 1, CacheCap: -1})
 	ts := httptest.NewServer(s.Handler())

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Benchmark the three Fock-build configurations — direct pooled, warm
+# semi-direct (full ERI cache replay), and incremental+semi-direct (ΔP
+# build on a warm cache) — and emit BENCH_fock.json: ns/op, quartets
+# computed per build, cache hit ratio and allocs/op per configuration.
+# This file is the committed bench baseline; scripts/check.sh fails when
+# the semi-direct ns/op regresses >20% against it.
+#
+# Usage: scripts/bench_fock.sh [output.json]
+# BENCHTIME overrides -benchtime (default 3x).
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_fock.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test ./internal/hfx/ -run '^$' \
+	-bench 'BenchmarkBuildJK(Pooled|SemiDirect|IncrementalSemiDirect)$' \
+	-benchtime "${BENCHTIME:-3x}" -count 1 | tee "$raw"
+
+awk '
+/^BenchmarkBuildJK/ {
+	name = $1; sub(/-[0-9]+$/, "", name)
+	ns = "null"; q = "null"; hr = "null"; al = "null"
+	for (i = 2; i < NF; i++) {
+		if ($(i+1) == "ns/op")       ns = $i
+		if ($(i+1) == "quartets/op") q  = $i
+		if ($(i+1) == "hitratio")    hr = $i
+		if ($(i+1) == "allocs/op")   al = $i
+	}
+	n++
+	lines[n] = sprintf("  \"%s\": {\"ns_per_op\": %s, \"quartets_per_op\": %s, \"cache_hit_ratio\": %s, \"allocs_per_op\": %s}", name, ns, q, hr, al)
+}
+END {
+	if (n == 0) { print "bench_fock: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+	print "{"
+	for (i = 1; i <= n; i++) printf "%s%s\n", lines[i], (i < n ? "," : "")
+	print "}"
+}' "$raw" > "$out"
+
+echo "wrote $out"

@@ -1,17 +1,43 @@
 #!/bin/sh
 # Repository check: vet, build, race-enabled tests, the steady-state
-# allocation guard (BenchmarkBuildJKPooled must report 0 allocs/op —
-# enforced in-suite by TestSteadyStateBuildAllocs, surfaced here for
-# inspection), an explicit race pass over the hfxd job service (its
-# concurrency criteria: >= 8 parallel jobs, queue backpressure, drain,
-# no goroutine leak), and the hfxd end-to-end smoke test (boot on a
-# random port, cache hit on the second identical job, clean SIGTERM
-# drain).
+# allocation guards (BenchmarkBuildJKPooled and BenchmarkBuildJKSemiDirect
+# must report 0 allocs/op — enforced in-suite by TestSteadyStateBuildAllocs
+# and TestSemiDirectReplayAllocs, surfaced here for inspection), an
+# explicit race pass over the semi-direct cache correctness tests and the
+# hfxd job service (its concurrency criteria: >= 8 parallel jobs, queue
+# backpressure, drain, no goroutine leak), the hfxd end-to-end smoke test,
+# and the Fock bench regression gate: a fresh scripts/bench_fock.sh run
+# must not regress semi-direct ns/op by >20% against the committed
+# BENCH_fock.json baseline.
 set -eux
+
+cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
 go test -race ./...
-go test ./internal/hfx/ -run '^$' -bench 'BenchmarkBuildJKPooled$' -benchtime 3x
+# Semi-direct/early-exit correctness under the race detector, explicitly.
+go test -race -count=1 ./internal/hfx/ -run 'SemiDirect|EarlyExit|Cache|SteadyState'
+# Alloc guards: one iteration is enough — the benchmarks fail themselves
+# on warm-cache misses, and the allocs/op column must read 0.
+go test ./internal/hfx/ -run '^$' -bench 'BenchmarkBuildJK(Pooled|SemiDirect)$' -benchtime 1x
 go test -race -count=1 ./internal/server/ ./internal/trace/
-"$(dirname "$0")/smoke_hfxd.sh"
+scripts/smoke_hfxd.sh
+
+# Fock bench regression gate against the committed baseline.
+fresh="$(mktemp)"
+trap 'rm -f "$fresh"' EXIT
+scripts/bench_fock.sh "$fresh"
+extract_ns() {
+	sed -n 's/.*"BenchmarkBuildJKSemiDirect": {"ns_per_op": \([0-9.e+]*\).*/\1/p' "$1"
+}
+base_ns="$(extract_ns BENCH_fock.json)"
+new_ns="$(extract_ns "$fresh")"
+test -n "$base_ns" && test -n "$new_ns"
+awk -v base="$base_ns" -v new="$new_ns" 'BEGIN {
+	if (new > 1.2 * base) {
+		printf "FAIL: semi-direct Fock build regressed: %.0f ns/op vs baseline %.0f (>20%%)\n", new, base
+		exit 1
+	}
+	printf "semi-direct Fock build: %.0f ns/op vs baseline %.0f (ok)\n", new, base
+}'
