@@ -12,6 +12,7 @@ import (
 	"hfxmd/internal/integrals"
 	"hfxmd/internal/linalg"
 	"hfxmd/internal/md"
+	"hfxmd/internal/mprt"
 	"hfxmd/internal/opt"
 	"hfxmd/internal/scf"
 	"hfxmd/internal/sched"
@@ -200,6 +201,69 @@ func (e *ExchangeBuilder) Close() { e.b.Close() }
 
 // NBasis returns the basis dimension of the builder.
 func (e *ExchangeBuilder) NBasis() int { return e.b.Eng.Basis.NBasis }
+
+// ---------------------------------------------------------------------------
+// Multi-rank runtime layer (mprt).
+
+// CollectiveSchedule selects how mprt collectives move data: a binomial
+// tree or the torus dimension-exchange.
+type CollectiveSchedule = mprt.Schedule
+
+// The available collective schedules.
+const (
+	ScheduleBinomial    = mprt.Binomial
+	ScheduleDimExchange = mprt.DimExchange
+)
+
+// CollectiveScheduleByName resolves "binomial" or "dim-exchange".
+func CollectiveScheduleByName(name string) (CollectiveSchedule, bool) {
+	return mprt.ScheduleByName(name)
+}
+
+// DistExchangeOptions configures a rank-distributed Fock build.
+type DistExchangeOptions = hfx.DistOptions
+
+// DistExchangeReport describes one rank-distributed build: per-rank phase
+// walls, collective traffic, and the measured-vs-modeled schedule steps.
+type DistExchangeReport = hfx.DistReport
+
+// DistExchangeBuilder runs the Fock build across an in-process mprt
+// world: the screened task list is statically partitioned over
+// torus-mapped ranks and the partial J/K are combined with deterministic
+// collectives. Results are bitwise identical to an ExchangeBuilder with
+// Threads = Ranks×ThreadsPerRank.
+type DistExchangeBuilder struct {
+	d *hfx.DistBuilder
+}
+
+// NewDistExchangeBuilder prepares the screened decomposition, the mprt
+// world and the per-rank pools for a molecule and basis.
+func NewDistExchangeBuilder(mol *Molecule, basisName string, sopts ScreeningOptions, dopts DistExchangeOptions) (*DistExchangeBuilder, error) {
+	set, err := basis.Build(basisName, mol)
+	if err != nil {
+		return nil, err
+	}
+	eng := integrals.NewEngine(set)
+	scr := screen.BuildPairList(eng, sopts)
+	d, err := hfx.NewDistBuilder(eng, scr, dopts)
+	if err != nil {
+		return nil, err
+	}
+	return &DistExchangeBuilder{d: d}, nil
+}
+
+// BuildJK evaluates J and K across the ranks. Like
+// ExchangeBuilder.BuildJK, the returned matrices alias builder-owned
+// buffers and are valid only until the next BuildJK.
+func (e *DistExchangeBuilder) BuildJK(p *Matrix) (j, k *Matrix, rep DistExchangeReport) {
+	return e.d.BuildJK(p)
+}
+
+// Close stops the rank pools and the mprt world.
+func (e *DistExchangeBuilder) Close() { e.d.Close() }
+
+// NBasis returns the basis dimension of the builder.
+func (e *DistExchangeBuilder) NBasis() int { return e.d.Eng.Basis.NBasis }
 
 // ---------------------------------------------------------------------------
 // Dynamics layer.

@@ -10,13 +10,20 @@
 //	W1 — weak scaling (system grows with the machine);
 //	M0 — the simulated BG/Q partition table (shapes, threads, bisection);
 //	P1 — real (non-simulated) repeated Fock builds on the persistent
-//	     worker pool, with the per-phase accounting table.
+//	     worker pool, with the per-phase accounting table;
+//	D1 — real distributed Fock builds on the in-process mprt runtime:
+//	     strong + weak scaling over rank counts, with measured parallel
+//	     efficiency, per-rank communication bytes, and measured collective
+//	     step counts checked against the bgq model's prediction.
+//
+// `hfxscale -exp list` prints this table with one-line descriptions.
 //
 // Usage:
 //
 //	hfxscale -exp e1 -waters 4096
 //	hfxscale -exp e2
 //	hfxscale -exp p1 -pwaters 4 -builds 4
+//	hfxscale -exp d1 -d1-waters 2 -d1-ranks 1,2,4,8,16 -d1-sched dim-exchange
 //	hfxscale -exp all
 package main
 
@@ -25,20 +32,55 @@ import (
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"hfxmd"
+	"hfxmd/internal/basis"
 	"hfxmd/internal/bgq"
+	"hfxmd/internal/chem"
+	"hfxmd/internal/hfx"
+	"hfxmd/internal/integrals"
 	"hfxmd/internal/linalg"
+	"hfxmd/internal/mprt"
 	"hfxmd/internal/sched"
+	"hfxmd/internal/screen"
 )
 
 var defaultRacks = []int{1, 2, 4, 8, 16, 32, 48, 64, 96}
+
+// experiments is the table behind -exp list: name, banner title, one-line
+// description, and runner.
+var experiments = []struct {
+	name  string
+	title string
+	desc  string
+	run   func(paper, base *hfxmd.MachineWorkload)
+}{
+	{"e1", "E1: strong scaling, paper scheme",
+		"simulated strong scaling of the paper scheme to 6.3M threads", expE1},
+	{"e2", "E2: scalability vs state of the art",
+		"simulated comparison against the baseline (>20x scalability claim)", expE2},
+	{"e3", "E3: time to solution",
+		"simulated time-to-solution at fixed machine sizes (>10x claim)", expE3},
+	{"a1", "A1: load-balancer ablation",
+		"block / round-robin / LPT / steal balancing on 16 racks", expA1},
+	{"a2", "A2: reduction-algorithm ablation",
+		"dim-exchange / binomial / ring K-reduction cost", expA2},
+	{"w1", "W1: weak scaling (system grows with machine)",
+		"simulated weak scaling, 256 waters per rack", expW1},
+	{"m0", "M0: simulated platform (BG/Q partitions)",
+		"partition shapes, thread counts, diameters, bisections", expM0},
+	{"p1", "P1: persistent-pool Fock builds (real, not simulated)",
+		"repeated real builds on one pool, per-phase accounting", expP1},
+	{"d1", "D1: distributed Fock builds on the mprt runtime (real)",
+		"strong+weak rank scaling: efficiency, comm bytes, steps vs model", expD1},
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hfxscale: ")
 	var (
-		exp    = flag.String("exp", "all", "experiment: e1|e2|e3|a1|a2|w1|m0|p1|all")
+		exp    = flag.String("exp", "all", "experiment: e1|e2|e3|a1|a2|w1|m0|p1|d1|all|list")
 		waters = flag.Int("waters", 4096, "condensed-phase system size (H2O molecules)")
 		tasks  = flag.Int("tasks", 3<<20, "node-level task count of the paper decomposition")
 		seed   = flag.Int64("seed", 1, "workload seed")
@@ -47,40 +89,38 @@ func main() {
 	flag.IntVar(&p1Waters, "pwaters", 4, "cluster size for -exp p1")
 	flag.IntVar(&p1Builds, "builds", 4, "Fock builds for -exp p1")
 	flag.IntVar(&p1CacheMB, "cache-mb", 0, "semi-direct ERI block cache budget in MiB for -exp p1 (0 = direct)")
+	flag.StringVar(&d1Ranks, "d1-ranks", "1,2,4,8,16", "comma-separated rank counts for -exp d1")
+	flag.IntVar(&d1Waters, "d1-waters", 2, "strong-scaling cluster size (waters) for -exp d1; weak scaling grows from it")
+	flag.IntVar(&d1Tpr, "d1-threads", 1, "threads per rank for -exp d1 (power of two)")
+	flag.StringVar(&d1Sched, "d1-sched", "dim-exchange", "collective schedule for -exp d1: binomial|dim-exchange")
 	flag.Parse()
+
+	want := strings.ToLower(*exp)
+	if want == "list" {
+		fmt.Printf("%-5s %s\n", "exp", "description")
+		for _, e := range experiments {
+			fmt.Printf("%-5s %s\n", e.name, e.desc)
+		}
+		return
+	}
+	all := want == "all"
+	matched := false
+	for _, e := range experiments {
+		if all || want == e.name {
+			matched = true
+		}
+	}
+	if !matched {
+		log.Fatalf("unknown experiment %q (use -exp list for the table)", *exp)
+	}
 
 	paper := hfxmd.CondensedPhaseWorkload(*waters, *tasks, *seed)
 	base := hfxmd.BaselineWorkload(*waters, *seed)
-
-	run := func(name string, f func(paper, base *hfxmd.MachineWorkload)) {
-		fmt.Printf("\n================ %s ================\n", name)
-		f(paper, base)
-	}
-	want := strings.ToLower(*exp)
-	all := want == "all"
-	if all || want == "e1" {
-		run("E1: strong scaling, paper scheme", expE1)
-	}
-	if all || want == "e2" {
-		run("E2: scalability vs state of the art", expE2)
-	}
-	if all || want == "e3" {
-		run("E3: time to solution", expE3)
-	}
-	if all || want == "a1" {
-		run("A1: load-balancer ablation", expA1)
-	}
-	if all || want == "a2" {
-		run("A2: reduction-algorithm ablation", expA2)
-	}
-	if all || want == "w1" {
-		run("W1: weak scaling (system grows with machine)", expW1)
-	}
-	if all || want == "m0" {
-		run("M0: simulated platform (BG/Q partitions)", expM0)
-	}
-	if all || want == "p1" {
-		run("P1: persistent-pool Fock builds (real, not simulated)", expP1)
+	for _, e := range experiments {
+		if all || want == e.name {
+			fmt.Printf("\n================ %s ================\n", e.title)
+			e.run(paper, base)
+		}
 	}
 }
 
@@ -89,7 +129,86 @@ var (
 	p1Waters  int
 	p1Builds  int
 	p1CacheMB int
+
+	d1Ranks  string
+	d1Waters int
+	d1Tpr    int
+	d1Sched  string
 )
+
+// expD1 runs real distributed Fock builds on the in-process mprt runtime:
+// a strong-scaling sweep (fixed system, growing rank count) followed by a
+// weak-scaling sweep (system grows with the ranks). Parallel efficiency
+// is measured from aggregate quartet throughput relative to the 1-rank
+// baseline — on a machine with fewer cores than ranks it degrades as
+// ~1/ranks, which is the honest number; the schedule-level validation
+// (comm bytes, measured vs model-predicted collective steps) is
+// machine-independent.
+func expD1(_, _ *hfxmd.MachineWorkload) {
+	schedAlg, ok := mprt.ScheduleByName(strings.ToLower(d1Sched))
+	if !ok {
+		log.Fatalf("unknown collective schedule %q (binomial|dim-exchange)", d1Sched)
+	}
+	var rankList []int
+	for _, f := range strings.Split(d1Ranks, ",") {
+		var r int
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &r); err != nil || r < 1 {
+			log.Fatalf("bad -d1-ranks entry %q", f)
+		}
+		rankList = append(rankList, r)
+	}
+
+	type row struct {
+		ranks int
+		rep   hfx.DistReport
+	}
+	sweep := func(mol func(ranks int) *chem.Molecule) []row {
+		rows := make([]row, 0, len(rankList))
+		for _, r := range rankList {
+			eng := integrals.NewEngine(basis.MustBuild("STO-3G", mol(r)))
+			scr := screen.BuildPairList(eng, screen.DefaultOptions())
+			p := linalg.NewSquare(eng.Basis.NBasis)
+			for i := 0; i < eng.Basis.NBasis; i++ {
+				p.Set(i, i, 1)
+			}
+			_, _, rep, err := hfx.DistributedBuild(eng, scr, hfx.DistOptions{
+				Ranks:          r,
+				ThreadsPerRank: d1Tpr,
+				Schedule:       schedAlg,
+				Opts:           hfx.DefaultOptions(),
+			}, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rows = append(rows, row{r, rep})
+		}
+		return rows
+	}
+	print := func(rows []row) {
+		base := float64(rows[0].rep.QuartetsComputed) / rows[0].rep.Wall.Seconds()
+		fmt.Printf("%6s %12s %12s %10s %10s %12s %12s %11s\n",
+			"ranks", "shape", "wall", "quartets", "eff", "comm bytes", "bytes/rank", "steps m/p")
+		for _, r := range rows {
+			rate := float64(r.rep.QuartetsComputed) / r.rep.Wall.Seconds()
+			eff := rate / (float64(r.ranks) * base)
+			fmt.Printf("%6d %12s %12v %10d %9.1f%% %12d %12d %5d/%-5d\n",
+				r.ranks, r.rep.Shape, r.rep.Wall.Round(time.Microsecond),
+				r.rep.QuartetsComputed, 100*eff,
+				r.rep.CommBytes, r.rep.CommBytes/int64(r.ranks),
+				r.rep.MeasuredSteps, r.rep.PredictedSteps)
+			if r.rep.MeasuredSteps != int64(r.rep.PredictedSteps) {
+				log.Fatalf("ranks=%d: measured collective steps %d diverge from bgq model prediction %d",
+					r.ranks, r.rep.MeasuredSteps, r.rep.PredictedSteps)
+			}
+		}
+	}
+
+	fmt.Printf("schedule %v, %d thread(s)/rank\n\nstrong scaling: (H2O)_%d fixed\n",
+		schedAlg, d1Tpr, d1Waters)
+	print(sweep(func(int) *chem.Molecule { return chem.WaterCluster(d1Waters, 6) }))
+	fmt.Printf("\nweak scaling: (H2O)_{%d x ranks}\n", d1Waters)
+	print(sweep(func(r int) *chem.Molecule { return chem.WaterCluster(d1Waters*r, 6) }))
+}
 
 // expP1 runs real repeated Fock builds on one persistent builder pool
 // and prints the per-phase accounting: the first build pays the scratch

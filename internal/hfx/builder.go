@@ -201,7 +201,7 @@ type pool struct {
 	// Per-build state, written by the coordinator before workers are
 	// woken (the wake-channel send establishes the happens-before edge).
 	p        *linalg.Matrix
-	pmaxAll  float64 // max |P| over the whole density (density-weighted runs)
+	pmaxAll  float64    // max |P| over the whole density (density-weighted runs)
 	stats    *qpx.Stats // points at qstats when Vector, else nil
 	qstats   qpx.Stats
 	computed atomic.Int64
@@ -235,12 +235,25 @@ func NewBuilder(eng *integrals.Engine, scr *screen.Result, opts Options) *Builde
 	if opts.Cost == (CostModel{}) {
 		opts.Cost = DefaultCostModel()
 	}
+	tasks := GenerateTasks(eng.Basis, scr.Pairs, opts.Cost, opts.Granule)
+	costs := TaskCosts(tasks)
+	asn := sched.Balance(opts.Balancer, costs, opts.Threads)
 	b := &Builder{Eng: eng, Scr: scr, Opts: opts}
+	b.pl = newPool(eng, scr, opts, tasks, costs, asn)
+	runtime.SetFinalizer(b, (*Builder).Close)
+	return b
+}
 
+// newPool allocates the per-worker buffers and starts the persistent
+// workers for an already-prepared task decomposition. The assignment may
+// be a rank-local slice of a larger global schedule (see DistBuilder), so
+// the pool takes the decomposition as inputs instead of computing it.
+func newPool(eng *integrals.Engine, scr *screen.Result, opts Options,
+	tasks []Task, costs []float64, asn *sched.Assignment) *pool {
 	pl := &pool{eng: eng, scr: scr, opts: opts, reg: trace.NewRegistry()}
-	pl.tasks = GenerateTasks(eng.Basis, scr.Pairs, opts.Cost, opts.Granule)
-	pl.costs = TaskCosts(pl.tasks)
-	pl.asn = sched.Balance(opts.Balancer, pl.costs, opts.Threads)
+	pl.tasks = tasks
+	pl.costs = costs
+	pl.asn = asn
 	pl.costStats = sched.Summarize(pl.costs)
 	if opts.Dynamic {
 		pl.order = make([]int, len(pl.tasks))
@@ -298,18 +311,19 @@ func NewBuilder(eng *integrals.Engine, scr *screen.Result, opts Options) *Builde
 		pl.wake[w] = make(chan struct{}, 1)
 		go pl.worker(w)
 	}
-
-	b.pl = pl
-	runtime.SetFinalizer(b, (*Builder).Close)
-	return b
+	return pl
 }
+
+// close stops the pool's persistent workers. Idempotence is the owner's
+// responsibility (Builder.Close, DistBuilder.Close).
+func (pl *pool) close() { close(pl.quit) }
 
 // Close stops the persistent worker pool. It is idempotent and must not
 // be called concurrently with BuildJK. A finalizer calls Close if the
 // builder is collected without it, so forgetting Close leaks nothing
 // permanently — but calling it promptly releases the goroutines sooner.
 func (b *Builder) Close() {
-	b.closeOnce.Do(func() { close(b.pl.quit) })
+	b.closeOnce.Do(func() { b.pl.close() })
 	runtime.SetFinalizer(b, nil)
 }
 
@@ -401,11 +415,25 @@ func (pl *pool) reduce(w int) {
 // must copy (linalg.Matrix.Clone or CopyFrom) before rebuilding.
 func (b *Builder) BuildJK(p *linalg.Matrix) (j, k *linalg.Matrix, rep Report) {
 	pl := b.pl
+	start := time.Now()
+	depth := pl.runBuild(p)
+	j, k = pl.jBufs[0], pl.kBufs[0]
+	rep = pl.buildReport(start, depth)
+	// Keep the builder (and thus its finalizer) from being collected
+	// while a build is mid-flight on the pool it owns.
+	runtime.KeepAlive(b)
+	return j, k, rep
+}
+
+// runBuild executes one compute+reduce cycle on the pool and returns the
+// reduction depth. On return jBufs[0]/kBufs[0] hold the pool's J and K
+// (the full matrices for a Builder, this rank's partials for a
+// DistBuilder rank pool).
+func (pl *pool) runBuild(p *linalg.Matrix) (depth int) {
 	n := pl.eng.Basis.NBasis
 	if p.Rows != n || p.Cols != n {
 		panic("hfx: density dimension mismatch")
 	}
-	start := time.Now()
 	pl.reg.Timer.Reset()
 	builds := pl.reg.Counter("pool.builds")
 	builds.Add(1)
@@ -443,7 +471,6 @@ func (b *Builder) BuildJK(p *linalg.Matrix) (j, k *linalg.Matrix, rep Report) {
 	// Hierarchical pairwise reduction (binary tree), mirroring the
 	// machine-scale K allreduce over the torus. The same persistent
 	// workers execute the merge steps.
-	depth := 0
 	t0 = time.Now()
 	for stride := 1; stride < pl.nw; stride *= 2 {
 		depth++
@@ -453,9 +480,13 @@ func (b *Builder) BuildJK(p *linalg.Matrix) (j, k *linalg.Matrix, rep Report) {
 	}
 	pl.reg.Timer.Charge("reduce", time.Since(t0))
 	pl.p = nil
+	return depth
+}
 
-	j, k = pl.jBufs[0], pl.kBufs[0]
-	rep = Report{
+// buildReport assembles the Report for the build cycle that just ran.
+func (pl *pool) buildReport(start time.Time, depth int) Report {
+	builds := pl.reg.Counter("pool.builds")
+	rep := Report{
 		NTasks:           len(pl.tasks),
 		QuartetsComputed: pl.computed.Load(),
 		QuartetsScreened: pl.screened.Load(),
@@ -493,10 +524,7 @@ func (b *Builder) BuildJK(p *linalg.Matrix) (j, k *linalg.Matrix, rep Report) {
 		rep.Cache.Evictions = pl.cache.evictions.Load()
 		rep.Pool.CacheSlabBytes = pl.cache.slabBytes()
 	}
-	// Keep the builder (and thus its finalizer) from being collected
-	// while a build is mid-flight on the pool it owns.
-	runtime.KeepAlive(b)
-	return j, k, rep
+	return rep
 }
 
 // slot mappings of the 8 index permutations of a quartet (a,b,c,d) that

@@ -1,0 +1,303 @@
+package hfx
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"hfxmd/internal/linalg"
+	"hfxmd/internal/mprt"
+	"hfxmd/internal/sched"
+	"hfxmd/internal/screen"
+	"hfxmd/internal/torus"
+	"hfxmd/internal/trace"
+
+	"hfxmd/internal/integrals"
+)
+
+// DistOptions configures a rank-distributed Fock build.
+type DistOptions struct {
+	// Ranks is the number of mprt ranks (required, ≥ 1).
+	Ranks int
+	// ThreadsPerRank is each rank's persistent-pool size. It must be a
+	// power of two (default 1): the global schedule is balanced over
+	// Ranks×ThreadsPerRank worker slots, and power-of-two rank blocks are
+	// what lets the rank-local reduction trees compose with the mprt
+	// cross-rank tree into exactly the single-rank reduction order.
+	ThreadsPerRank int
+	// Schedule selects the mprt collective schedule.
+	Schedule mprt.Schedule
+	// Shape optionally fixes the torus embedding (zero value:
+	// torus.ShapeForNodes(Ranks)).
+	Shape torus.Shape
+	// Opts is the per-rank build configuration. Threads is ignored
+	// (ThreadsPerRank governs), Dynamic is rejected (racy task placement
+	// would break the bitwise determinism contract), and the semi-direct
+	// ERI cache is disabled (it is a per-builder structure keyed to the
+	// global assignment).
+	Opts Options
+}
+
+// DistReport describes one distributed Fock build.
+type DistReport struct {
+	Ranks          int
+	ThreadsPerRank int
+	Schedule       mprt.Schedule
+	Shape          torus.Shape
+	Wall           time.Duration
+
+	// Per-rank phase walls and communication traffic for this build.
+	RankCompute []time.Duration
+	RankComm    []time.Duration
+	RankBytes   []int64
+	RankSends   []int64
+	RankHops    []int64
+
+	// Totals over ranks.
+	CommBytes int64
+	Sends     int64
+	Hops      int64
+
+	// MeasuredSteps counts the collective schedule steps this build's
+	// reduce-scatter + allgather executed; PredictedSteps is the analytic
+	// count for the same shape and schedule (3·L+1 for L tree levels),
+	// the quantity the bgq machine model prices.
+	MeasuredSteps  int64
+	PredictedSteps int
+
+	// RankLoads is the predicted cost per rank under the global static
+	// schedule; BalanceRatio is max/mean over ranks.
+	RankLoads    []float64
+	BalanceRatio float64
+
+	NTasks           int
+	QuartetsComputed int64
+	QuartetsScreened int64
+
+	// Metrics is the mprt world's registry: lifetime traffic counters and
+	// per-collective call/step counts.
+	Metrics *trace.Registry
+}
+
+// String renders a one-line summary.
+func (r DistReport) String() string {
+	return fmt.Sprintf("ranks=%d threads/rank=%d sched=%v shape=%v wall=%v bytes=%d steps=%d/%d balance=%.4f",
+		r.Ranks, r.ThreadsPerRank, r.Schedule, r.Shape, r.Wall,
+		r.CommBytes, r.MeasuredSteps, r.PredictedSteps, r.BalanceRatio)
+}
+
+// DistBuilder executes the paper's rank decomposition of the Fock build:
+// the screened task list is priced by the sched cost model and balanced
+// once over Ranks×ThreadsPerRank global worker slots; each rank owns the
+// contiguous block of ThreadsPerRank slots at rank×ThreadsPerRank and
+// runs it on its own persistent pool; partial J/K are combined over the
+// mprt world as one fused [J‖K] vector via ReduceScatter + Allgatherv.
+//
+// Bitwise contract: the result is identical — every bit of J and K — to
+// a single-rank Builder with Threads = Ranks×ThreadsPerRank, for any
+// rank count and either collective schedule. The rank-local pool reduce
+// executes exactly the global reduction tree's strides below
+// ThreadsPerRank (power-of-two alignment makes the restriction exact),
+// and the mprt collectives sum in the canonical tree order over ranks,
+// which is the same global tree's strides at and above ThreadsPerRank.
+type DistBuilder struct {
+	Eng *integrals.Engine
+	Scr *screen.Result
+
+	dopts DistOptions
+	world *mprt.World
+	pools []*pool
+	tasks []Task
+	asn   *sched.Assignment // global, over Ranks×ThreadsPerRank slots
+
+	counts []int       // fused-vector segment counts for reduce-scatter
+	fused  [][]float64 // per-rank fused [J‖K] staging buffers
+	jOut   *linalg.Matrix
+	kOut   *linalg.Matrix
+
+	closeOnce sync.Once
+}
+
+// NewDistBuilder prepares the global decomposition, the mprt world and
+// the per-rank pools.
+func NewDistBuilder(eng *integrals.Engine, scr *screen.Result, dopts DistOptions) (*DistBuilder, error) {
+	if dopts.Ranks < 1 {
+		return nil, fmt.Errorf("hfx: need at least 1 rank, got %d", dopts.Ranks)
+	}
+	if dopts.ThreadsPerRank <= 0 {
+		dopts.ThreadsPerRank = 1
+	}
+	if t := dopts.ThreadsPerRank; t&(t-1) != 0 {
+		return nil, fmt.Errorf("hfx: threads per rank must be a power of two, got %d", t)
+	}
+	if dopts.Opts.Dynamic {
+		return nil, fmt.Errorf("hfx: dynamic dispatch is incompatible with the distributed build's bitwise determinism contract")
+	}
+	opts := dopts.Opts
+	opts.Threads = dopts.ThreadsPerRank
+	opts.CacheBudgetBytes = 0 // the ERI cache is per-builder; disabled per rank
+	if opts.Cost == (CostModel{}) {
+		opts.Cost = DefaultCostModel()
+	}
+	dopts.Opts = opts
+
+	world, err := mprt.NewWorld(mprt.Options{
+		Ranks:    dopts.Ranks,
+		Schedule: dopts.Schedule,
+		Shape:    dopts.Shape,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dopts.Shape = world.Shape()
+
+	tasks := GenerateTasks(eng.Basis, scr.Pairs, opts.Cost, opts.Granule)
+	costs := TaskCosts(tasks)
+	asn := sched.Balance(opts.Balancer, costs, dopts.Ranks*dopts.ThreadsPerRank)
+
+	d := &DistBuilder{
+		Eng:   eng,
+		Scr:   scr,
+		dopts: dopts,
+		world: world,
+		pools: make([]*pool, dopts.Ranks),
+		tasks: tasks,
+		asn:   asn,
+	}
+	for r := 0; r < dopts.Ranks; r++ {
+		lo := r * dopts.ThreadsPerRank
+		d.pools[r] = newPool(eng, scr, opts, tasks, costs, asn.Slice(lo, lo+dopts.ThreadsPerRank))
+	}
+
+	n := eng.Basis.NBasis
+	nn := n * n
+	d.counts = make([]int, dopts.Ranks)
+	for r := range d.counts {
+		d.counts[r] = 2 * nn / dopts.Ranks
+		if r < 2*nn%dopts.Ranks {
+			d.counts[r]++
+		}
+	}
+	d.fused = make([][]float64, dopts.Ranks)
+	for r := range d.fused {
+		d.fused[r] = make([]float64, 2*nn)
+	}
+	d.jOut = linalg.NewSquare(n)
+	d.kOut = linalg.NewSquare(n)
+	runtime.SetFinalizer(d, (*DistBuilder).Close)
+	return d, nil
+}
+
+// Close stops every rank pool and the mprt world. Idempotent; a
+// finalizer calls it if the builder is collected without Close.
+func (d *DistBuilder) Close() {
+	d.closeOnce.Do(func() {
+		for _, pl := range d.pools {
+			pl.close()
+		}
+		d.world.Close()
+	})
+	runtime.SetFinalizer(d, nil)
+}
+
+// World exposes the underlying mprt world (read-only: shape, schedule,
+// traffic registry).
+func (d *DistBuilder) World() *mprt.World { return d.world }
+
+// Assignment exposes the global static schedule (read-only).
+func (d *DistBuilder) Assignment() *sched.Assignment { return d.asn }
+
+// BuildJK computes J and K for density P across the ranks. The returned
+// matrices are owned by the builder and valid until the next BuildJK.
+func (d *DistBuilder) BuildJK(p *linalg.Matrix) (j, k *linalg.Matrix, rep DistReport) {
+	R := d.dopts.Ranks
+	nn := d.Eng.Basis.NBasis * d.Eng.Basis.NBasis
+	start := time.Now()
+
+	reg := d.world.Registry()
+	steps0 := reg.Counter("mprt.reducescatter.steps").Value() +
+		reg.Counter("mprt.allgatherv.steps").Value()
+
+	rep = DistReport{
+		Ranks:          R,
+		ThreadsPerRank: d.dopts.ThreadsPerRank,
+		Schedule:       d.dopts.Schedule,
+		Shape:          d.dopts.Shape,
+		RankCompute:    make([]time.Duration, R),
+		RankComm:       make([]time.Duration, R),
+		RankBytes:      make([]int64, R),
+		RankSends:      make([]int64, R),
+		RankHops:       make([]int64, R),
+		NTasks:         len(d.tasks),
+		Metrics:        reg,
+	}
+
+	d.world.Run(func(c *mprt.Comm) error {
+		r := c.Rank()
+		pl := d.pools[r]
+		t0 := time.Now()
+		pl.runBuild(p)
+		fused := d.fused[r]
+		copy(fused[:nn], pl.jBufs[0].Data)
+		copy(fused[nn:], pl.kBufs[0].Data)
+		rep.RankCompute[r] = time.Since(t0)
+
+		b0, s0, h0 := c.BytesSent(), c.Sends(), c.HopsSent()
+		t0 = time.Now()
+		seg := c.ReduceScatter(fused, d.counts)
+		full := c.Allgatherv(seg, d.counts)
+		rep.RankComm[r] = time.Since(t0)
+		rep.RankBytes[r] = c.BytesSent() - b0
+		rep.RankSends[r] = c.Sends() - s0
+		rep.RankHops[r] = c.HopsSent() - h0
+
+		if r == 0 {
+			copy(d.jOut.Data, full[:nn])
+			copy(d.kOut.Data, full[nn:])
+		}
+		return nil
+	})
+
+	for r := 0; r < R; r++ {
+		rep.CommBytes += rep.RankBytes[r]
+		rep.Sends += rep.RankSends[r]
+		rep.Hops += rep.RankHops[r]
+		rep.QuartetsComputed += d.pools[r].computed.Load()
+		rep.QuartetsScreened += d.pools[r].screened.Load()
+	}
+	rep.MeasuredSteps = reg.Counter("mprt.reducescatter.steps").Value() +
+		reg.Counter("mprt.allgatherv.steps").Value() - steps0
+	L := d.world.PredictedReduceSteps()
+	rep.PredictedSteps = 3*L + 1
+	rep.RankLoads = d.asn.GroupLoads(d.dopts.ThreadsPerRank)
+	var maxL, sumL float64
+	for _, l := range rep.RankLoads {
+		sumL += l
+		if l > maxL {
+			maxL = l
+		}
+	}
+	if sumL > 0 {
+		rep.BalanceRatio = maxL / (sumL / float64(R))
+	} else {
+		rep.BalanceRatio = 1
+	}
+	rep.Wall = time.Since(start)
+	runtime.KeepAlive(d)
+	return d.jOut, d.kOut, rep
+}
+
+// DistributedBuild is the one-shot form: build a DistBuilder, run a
+// single J/K build, release the ranks. The returned matrices are freshly
+// owned by the caller.
+func DistributedBuild(eng *integrals.Engine, scr *screen.Result, dopts DistOptions,
+	p *linalg.Matrix) (j, k *linalg.Matrix, rep DistReport, err error) {
+	d, err := NewDistBuilder(eng, scr, dopts)
+	if err != nil {
+		return nil, nil, DistReport{}, err
+	}
+	defer d.Close()
+	j, k, rep = d.BuildJK(p)
+	return j, k, rep, nil
+}

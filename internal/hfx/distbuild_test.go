@@ -1,0 +1,122 @@
+package hfx
+
+import (
+	"testing"
+
+	"hfxmd/internal/chem"
+	"hfxmd/internal/mprt"
+)
+
+// TestDistributedBuildMatchesSingleRank is the acceptance gate for the
+// distributed build: for every rank count, thread count and collective
+// schedule, the distributed J and K must be bitwise identical — not
+// approximately equal — to a single-rank Builder with the same total
+// worker count Ranks×ThreadsPerRank.
+func TestDistributedBuildMatchesSingleRank(t *testing.T) {
+	for _, dw := range []bool{false, true} {
+		eng, scr := setup(t, chem.WaterCluster(2, 6), 1e-12)
+		p := testDensity(eng.Basis.NBasis, 11)
+		for _, tpr := range []int{1, 2} {
+			for _, ranks := range []int{1, 2, 3, 4, 8} {
+				opts := DefaultOptions()
+				opts.DensityWeighted = dw
+				opts.Threads = ranks * tpr
+				sb := NewBuilder(eng, scr, opts)
+				jRef, kRef, _ := sb.BuildJK(p)
+
+				for _, sched := range []mprt.Schedule{mprt.Binomial, mprt.DimExchange} {
+					j, k, rep, err := DistributedBuild(eng, scr, DistOptions{
+						Ranks:          ranks,
+						ThreadsPerRank: tpr,
+						Schedule:       sched,
+						Opts:           opts,
+					}, p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i, v := range jRef.Data {
+						if j.Data[i] != v {
+							t.Fatalf("dw=%v ranks=%d tpr=%d %v: J[%d] = %x, single-rank %x",
+								dw, ranks, tpr, sched, i, j.Data[i], v)
+						}
+					}
+					for i, v := range kRef.Data {
+						if k.Data[i] != v {
+							t.Fatalf("dw=%v ranks=%d tpr=%d %v: K[%d] = %x, single-rank %x",
+								dw, ranks, tpr, sched, i, k.Data[i], v)
+						}
+					}
+					if rep.QuartetsComputed == 0 {
+						t.Fatal("no quartets computed")
+					}
+					if ranks > 1 && rep.CommBytes == 0 {
+						t.Fatalf("ranks=%d: no communication recorded", ranks)
+					}
+					if rep.MeasuredSteps != int64(rep.PredictedSteps) {
+						t.Fatalf("dw=%v ranks=%d %v: measured steps %d, model predicts %d",
+							dw, ranks, sched, rep.MeasuredSteps, rep.PredictedSteps)
+					}
+				}
+				sb.Close()
+			}
+		}
+	}
+}
+
+// TestDistBuilderReuse checks the persistent form: repeated BuildJK calls
+// on one DistBuilder stay bitwise stable and keep traffic accounting
+// consistent across builds.
+func TestDistBuilderReuse(t *testing.T) {
+	eng, scr := setup(t, chem.Water(), 1e-12)
+	p := testDensity(eng.Basis.NBasis, 5)
+	d, err := NewDistBuilder(eng, scr, DistOptions{
+		Ranks:    4,
+		Schedule: mprt.DimExchange,
+		Opts:     DefaultOptions(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	j1, k1, rep1 := d.BuildJK(p)
+	jc := append([]float64(nil), j1.Data...)
+	kc := append([]float64(nil), k1.Data...)
+	j2, k2, rep2 := d.BuildJK(p)
+	for i := range jc {
+		if j2.Data[i] != jc[i] || k2.Data[i] != kc[i] {
+			t.Fatalf("rebuild diverged at element %d", i)
+		}
+	}
+	if rep1.MeasuredSteps != rep2.MeasuredSteps {
+		t.Fatalf("per-build step deltas differ: %d vs %d", rep1.MeasuredSteps, rep2.MeasuredSteps)
+	}
+	if rep2.CommBytes != rep1.CommBytes {
+		t.Fatalf("per-build comm bytes differ: %d vs %d", rep1.CommBytes, rep2.CommBytes)
+	}
+	if len(rep1.RankLoads) != 4 {
+		t.Fatalf("want 4 rank loads, got %d", len(rep1.RankLoads))
+	}
+	if rep1.BalanceRatio < 1 {
+		t.Fatalf("balance ratio %g < 1", rep1.BalanceRatio)
+	}
+	_, _ = k1, k2
+}
+
+// TestDistBuilderRejectsInvalid pins the option validation: dynamic
+// dispatch and non-power-of-two thread counts break the bitwise
+// contract, so they must be refused up front.
+func TestDistBuilderRejectsInvalid(t *testing.T) {
+	eng, scr := setup(t, chem.Water(), 1e-12)
+	bad := DefaultOptions()
+	bad.Dynamic = true
+	if _, err := NewDistBuilder(eng, scr, DistOptions{Ranks: 2, Opts: bad}); err == nil {
+		t.Fatal("expected error for Dynamic")
+	}
+	if _, err := NewDistBuilder(eng, scr, DistOptions{Ranks: 2, ThreadsPerRank: 3}); err == nil {
+		t.Fatal("expected error for non-power-of-two threads per rank")
+	}
+	if _, err := NewDistBuilder(eng, scr, DistOptions{Ranks: 0}); err == nil {
+		t.Fatal("expected error for 0 ranks")
+	}
+}

@@ -14,6 +14,9 @@ package md
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"hfxmd/internal/chem"
 	"hfxmd/internal/phys"
@@ -37,28 +40,68 @@ func SCFPotential(cfg scf.Config) PotentialFunc {
 	}
 }
 
-// Forces computes −∂E/∂R by central differences with step h (bohr).
+// Forces computes −∂E/∂R by central differences with step h (bohr),
+// evaluating the 6N displaced energies over a bounded worker group sized
+// by GOMAXPROCS. Identical (bitwise) to ForcesN with any worker count:
+// each force component depends only on its own two displaced energies.
 func Forces(mol *chem.Molecule, pot PotentialFunc, h float64) ([]chem.Vec3, error) {
+	return ForcesN(mol, pot, h, 0)
+}
+
+// ForcesN is Forces with an explicit worker bound (0 or negative means
+// GOMAXPROCS; the bound is clamped to the 3N displacement jobs). Every
+// worker displaces its own clone of the geometry, so pot is called
+// concurrently — the PotentialFunc must be safe for that, which
+// SCFPotential is (each call builds its own SCF state).
+func ForcesN(mol *chem.Molecule, pot PotentialFunc, h float64, workers int) ([]chem.Vec3, error) {
 	if h <= 0 {
 		h = 5e-3
 	}
-	f := make([]chem.Vec3, mol.NAtoms())
-	work := mol.Clone()
-	for i := range mol.Atoms {
-		for k := 0; k < 3; k++ {
-			orig := work.Atoms[i].Pos[k]
-			work.Atoms[i].Pos[k] = orig + h
-			ep, err := pot(work)
-			if err != nil {
-				return nil, fmt.Errorf("md: forward displacement atom %d dim %d: %w", i, k, err)
+	n := mol.NAtoms()
+	jobs := 3 * n
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	f := make([]chem.Vec3, n)
+	errs := make([]error, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			work := mol.Clone()
+			for {
+				jid := int(next.Add(1)) - 1
+				if jid >= jobs || errs[w] != nil {
+					return
+				}
+				i, k := jid/3, jid%3
+				orig := work.Atoms[i].Pos[k]
+				work.Atoms[i].Pos[k] = orig + h
+				ep, err := pot(work)
+				if err != nil {
+					errs[w] = fmt.Errorf("md: forward displacement atom %d dim %d: %w", i, k, err)
+					return
+				}
+				work.Atoms[i].Pos[k] = orig - h
+				em, err := pot(work)
+				if err != nil {
+					errs[w] = fmt.Errorf("md: backward displacement atom %d dim %d: %w", i, k, err)
+					return
+				}
+				work.Atoms[i].Pos[k] = orig
+				f[i][k] = -(ep - em) / (2 * h)
 			}
-			work.Atoms[i].Pos[k] = orig - h
-			em, err := pot(work)
-			if err != nil {
-				return nil, fmt.Errorf("md: backward displacement atom %d dim %d: %w", i, k, err)
-			}
-			work.Atoms[i].Pos[k] = orig
-			f[i][k] = -(ep - em) / (2 * h)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return f, nil

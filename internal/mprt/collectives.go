@@ -1,0 +1,201 @@
+package mprt
+
+import "fmt"
+
+// Internal protocol tags (user Send/Recv tags must be ≥ 0).
+const (
+	tagReduce = -1 - iota
+	tagBcast
+	tagScatter
+	tagGather
+)
+
+// reduce performs the canonical-tree reduction of data onto rank 0:
+// parents accumulate children's partials in schedule-level order, and a
+// rank's final action (if any) is the single send of its subtree partial
+// to its parent. With nil data the same message pattern runs with empty
+// payloads (the barrier). After reduce, rank 0's data holds the
+// canonical ((r0+r1)+(r2+r3))+… sum; other ranks' data is stale.
+func (c *Comm) reduce(tag int, data []float64) {
+	for _, o := range c.w.reduceOps[c.rank] {
+		if o.recv {
+			rd := c.Recv(o.partner, tag)
+			for i, v := range rd {
+				data[i] += v
+			}
+		} else {
+			c.sendHops(o.partner, tag, data, o.hops)
+		}
+	}
+}
+
+// bcastTree pushes root's data down the reversed reduction tree. Root
+// sends one freshly cloned buffer that all descendants share read-only;
+// every other rank copies it into data and forwards the shared buffer,
+// so no rank ever borrows a slice its caller may overwrite.
+func (c *Comm) bcastTree(tag, root int, data []float64) {
+	n := c.w.n
+	v := ((c.rank-root)%n + n) % n
+	ops := c.w.reduceOps[v]
+	phys := func(p int) int { return (p + root) % n }
+	if v == 0 {
+		var shared []float64
+		if data != nil {
+			shared = append([]float64(nil), data...)
+		}
+		for i := len(ops) - 1; i >= 0; i-- {
+			c.Send(phys(ops[i].partner), tag, shared)
+		}
+		return
+	}
+	// A non-root rank's last reduce op was the send to its parent; in the
+	// broadcast it becomes the first receive, then the rank re-sends to
+	// its own children in reverse level order.
+	last := len(ops) - 1
+	shared := c.Recv(phys(ops[last].partner), tag)
+	copy(data, shared)
+	for i := last - 1; i >= 0; i-- {
+		c.Send(phys(ops[i].partner), tag, shared)
+	}
+}
+
+// Barrier blocks until every rank has entered it: an empty-payload
+// reduction followed by an empty-payload broadcast.
+func (c *Comm) Barrier() {
+	if c.rank == 0 {
+		c.w.reg.Counter("mprt.barrier.calls").Add(1)
+		c.w.reg.Counter("mprt.barrier.steps").Add(int64(2 * c.w.levels))
+	}
+	if c.w.n == 1 {
+		return
+	}
+	c.reduce(tagReduce, nil)
+	c.bcastTree(tagBcast, 0, nil)
+}
+
+// Bcast replaces every rank's data with root's copy. All ranks must pass
+// slices of equal length.
+func (c *Comm) Bcast(root int, data []float64) {
+	if root < 0 || root >= c.w.n {
+		panic(fmt.Sprintf("mprt: bcast root %d outside world of %d", root, c.w.n))
+	}
+	if c.rank == 0 {
+		c.w.reg.Counter("mprt.bcast.calls").Add(1)
+		c.w.reg.Counter("mprt.bcast.steps").Add(int64(c.w.levels))
+	}
+	if c.w.n == 1 {
+		return
+	}
+	c.bcastTree(tagBcast, root, data)
+}
+
+// Allreduce sums data element-wise across all ranks, in place, leaving
+// every rank with the identical canonical-tree total: a reduction to
+// rank 0 followed by a broadcast — the reduce+broadcast factor-of-two
+// the bgq.AllreduceTime model charges for both schedules.
+func (c *Comm) Allreduce(data []float64) {
+	if c.rank == 0 {
+		c.w.reg.Counter("mprt.allreduce.calls").Add(1)
+		c.w.reg.Counter("mprt.allreduce.steps").Add(int64(2 * c.w.levels))
+	}
+	if c.w.n == 1 {
+		return
+	}
+	c.reduce(tagReduce, data)
+	c.bcastTree(tagBcast, 0, data)
+}
+
+// checkCounts validates a counts vector against the data length.
+func (c *Comm) checkCounts(counts []int, total int) []int {
+	if len(counts) != c.w.n {
+		panic(fmt.Sprintf("mprt: counts has %d entries for %d ranks", len(counts), c.w.n))
+	}
+	offs := make([]int, c.w.n+1)
+	for r, cnt := range counts {
+		if cnt < 0 {
+			panic("mprt: negative segment count")
+		}
+		offs[r+1] = offs[r] + cnt
+	}
+	if total >= 0 && offs[c.w.n] != total {
+		panic(fmt.Sprintf("mprt: segment counts sum to %d, data has %d", offs[c.w.n], total))
+	}
+	return offs
+}
+
+// ReduceScatter reduces data across ranks (canonical tree, like
+// Allreduce) and returns the segment owned by this rank: counts[r]
+// elements starting at offset Σ counts[<r]. The returned slice is
+// freshly owned by the caller. All ranks must pass identical counts.
+func (c *Comm) ReduceScatter(data []float64, counts []int) []float64 {
+	offs := c.checkCounts(counts, len(data))
+	if c.rank == 0 {
+		c.w.reg.Counter("mprt.reducescatter.calls").Add(1)
+		c.w.reg.Counter("mprt.reducescatter.steps").Add(int64(c.w.levels + 1))
+	}
+	if c.w.n == 1 {
+		return append([]float64(nil), data...)
+	}
+	c.reduce(tagReduce, data)
+	if c.rank == 0 {
+		// One scatter round: the root clones its reduced vector once and
+		// hands each rank a disjoint sub-slice of the clone.
+		buf := append([]float64(nil), data...)
+		for r := 1; r < c.w.n; r++ {
+			c.Send(r, tagScatter, buf[offs[r]:offs[r+1]:offs[r+1]])
+		}
+		return buf[offs[0]:offs[1]:offs[1]]
+	}
+	return c.Recv(0, tagScatter)
+}
+
+// Allgatherv concatenates every rank's local slice (counts[r] elements
+// from rank r) and returns the full vector on all ranks, gathered up the
+// canonical tree and broadcast back down. The returned slice is freshly
+// owned by the caller; len(local) must equal counts[rank].
+func (c *Comm) Allgatherv(local []float64, counts []int) []float64 {
+	offs := c.checkCounts(counts, -1)
+	if len(local) != counts[c.rank] {
+		panic(fmt.Sprintf("mprt: rank %d local has %d elements, counts says %d",
+			c.rank, len(local), counts[c.rank]))
+	}
+	if c.rank == 0 {
+		c.w.reg.Counter("mprt.allgatherv.calls").Add(1)
+		c.w.reg.Counter("mprt.allgatherv.steps").Add(int64(2 * c.w.levels))
+	}
+	total := offs[c.w.n]
+	buf := make([]float64, total)
+	copy(buf[offs[c.rank]:], local)
+	if c.w.n == 1 {
+		return buf
+	}
+	// Gather: a child's subtree block is the contiguous rank range
+	// [child, block[child]), so it ships one contiguous region per send.
+	for _, o := range c.w.reduceOps[c.rank] {
+		if o.recv {
+			child := o.partner
+			rd := c.Recv(child, tagGather)
+			copy(buf[offs[child]:offs[c.w.block[child]]], rd)
+		} else {
+			c.sendHops(o.partner, tagGather, buf[offs[c.rank]:offs[c.w.block[c.rank]]], o.hops)
+		}
+	}
+	// Broadcast the assembled vector back down. Root's buf is shared
+	// read-only by descendants; non-roots copy into their own buf.
+	if c.rank == 0 {
+		ops := c.w.reduceOps[0]
+		shared := append([]float64(nil), buf...)
+		for i := len(ops) - 1; i >= 0; i-- {
+			c.Send(ops[i].partner, tagBcast, shared)
+		}
+		return buf
+	}
+	ops := c.w.reduceOps[c.rank]
+	last := len(ops) - 1
+	shared := c.Recv(ops[last].partner, tagBcast)
+	copy(buf, shared)
+	for i := last - 1; i >= 0; i-- {
+		c.Send(ops[i].partner, tagBcast, shared)
+	}
+	return buf
+}

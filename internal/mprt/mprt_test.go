@@ -1,0 +1,346 @@
+package mprt
+
+import (
+	"math/bits"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"hfxmd/internal/torus"
+)
+
+var testRanks = []int{1, 2, 3, 4, 5, 6, 8, 12, 16}
+
+var schedules = []Schedule{Binomial, DimExchange}
+
+// canonicalSum reduces rank partials with the canonical stride-doubling
+// tree — the association every mprt reduction must reproduce bitwise.
+func canonicalSum(parts [][]float64) []float64 {
+	n := len(parts)
+	acc := make([][]float64, n)
+	for r := range parts {
+		acc[r] = append([]float64(nil), parts[r]...)
+	}
+	for s := 1; s < n; s *= 2 {
+		for w := 0; w+s < n; w += 2 * s {
+			for i, v := range acc[w+s] {
+				acc[w][i] += v
+			}
+		}
+	}
+	return acc[0]
+}
+
+func randParts(n, m int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	parts := make([][]float64, n)
+	for r := range parts {
+		parts[r] = make([]float64, m)
+		for i := range parts[r] {
+			// Wildly varying magnitudes make float addition order visible.
+			parts[r][i] = rng.NormFloat64() * float64(int64(1)<<uint(rng.Intn(40)))
+		}
+	}
+	return parts
+}
+
+func TestAllreduceCanonicalBothSchedules(t *testing.T) {
+	for _, n := range testRanks {
+		parts := randParts(n, 37, int64(n))
+		want := canonicalSum(parts)
+		for _, sched := range schedules {
+			w, err := NewWorld(Options{Ranks: n, Schedule: sched})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([][]float64, n)
+			err = w.Run(func(c *Comm) error {
+				data := append([]float64(nil), parts[c.Rank()]...)
+				c.Allreduce(data)
+				got[c.Rank()] = data
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.Close()
+			for r := 0; r < n; r++ {
+				for i := range want {
+					if got[r][i] != want[i] {
+						t.Fatalf("n=%d %v rank %d elem %d: got %g want %g (bitwise)",
+							n, sched, r, i, got[r][i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAllreduceDeterministicAcrossRuns(t *testing.T) {
+	const n, m = 6, 53
+	parts := randParts(n, m, 99)
+	for _, sched := range schedules {
+		var first []float64
+		for rep := 0; rep < 5; rep++ {
+			w, err := NewWorld(Options{Ranks: n, Schedule: sched})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []float64
+			w.Run(func(c *Comm) error {
+				data := append([]float64(nil), parts[c.Rank()]...)
+				// Jitter the rank goroutines to vary interleaving.
+				time.Sleep(time.Duration(c.Rank()*rep) * time.Microsecond)
+				c.Allreduce(data)
+				if c.Rank() == 3 {
+					got = data
+				}
+				return nil
+			})
+			w.Close()
+			if rep == 0 {
+				first = got
+				continue
+			}
+			for i := range first {
+				if got[i] != first[i] {
+					t.Fatalf("%v rep %d elem %d: %g != %g", sched, rep, i, got[i], first[i])
+				}
+			}
+		}
+	}
+}
+
+func TestReduceScatterAllgathervRoundTrip(t *testing.T) {
+	for _, n := range testRanks {
+		const m = 41 // deliberately not divisible by most rank counts
+		parts := randParts(n, m, 7*int64(n))
+		want := canonicalSum(parts)
+		counts := make([]int, n)
+		for r := range counts {
+			counts[r] = m / n
+			if r < m%n {
+				counts[r]++
+			}
+		}
+		for _, sched := range schedules {
+			w, err := NewWorld(Options{Ranks: n, Schedule: sched})
+			if err != nil {
+				t.Fatal(err)
+			}
+			full := make([][]float64, n)
+			err = w.Run(func(c *Comm) error {
+				data := append([]float64(nil), parts[c.Rank()]...)
+				seg := c.ReduceScatter(data, counts)
+				if len(seg) != counts[c.Rank()] {
+					t.Errorf("rank %d segment length %d, want %d", c.Rank(), len(seg), counts[c.Rank()])
+				}
+				full[c.Rank()] = c.Allgatherv(seg, counts)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.Close()
+			for r := 0; r < n; r++ {
+				for i := range want {
+					if full[r][i] != want[i] {
+						t.Fatalf("n=%d %v rank %d elem %d: got %g want %g",
+							n, sched, r, i, full[r][i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBcastAllRoots(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 6, 8} {
+		for _, sched := range schedules {
+			for root := 0; root < n; root++ {
+				w, err := NewWorld(Options{Ranks: n, Schedule: sched})
+				if err != nil {
+					t.Fatal(err)
+				}
+				src := []float64{1.5, -2.25, float64(root), float64(n)}
+				got := make([][]float64, n)
+				w.Run(func(c *Comm) error {
+					data := make([]float64, len(src))
+					if c.Rank() == root {
+						copy(data, src)
+					}
+					c.Bcast(root, data)
+					got[c.Rank()] = data
+					return nil
+				})
+				w.Close()
+				for r := 0; r < n; r++ {
+					for i := range src {
+						if got[r][i] != src[i] {
+							t.Fatalf("n=%d %v root %d rank %d: got %v", n, sched, root, r, got[r])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBarrierAndPointToPoint(t *testing.T) {
+	w, err := NewWorld(Options{Ranks: 4, Schedule: DimExchange})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	sum := make([]float64, 4)
+	err = w.Run(func(c *Comm) error {
+		// Ring: rank r sends r+1 its rank, receives from r-1.
+		next, prev := (c.Rank()+1)%4, (c.Rank()+3)%4
+		c.Send(next, 7, []float64{float64(c.Rank())})
+		got := c.Recv(prev, 7)
+		c.Barrier()
+		sum[c.Rank()] = got[0]
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		if want := float64((r + 3) % 4); sum[r] != want {
+			t.Fatalf("rank %d received %g, want %g", r, sum[r], want)
+		}
+	}
+}
+
+// TestMeasuredStepsMatchModel pins the measured collective step counts
+// against the analytic predictions the bgq machine model uses for the
+// same shape: ceil(log2 N) rounds per phase for the binomial tree and
+// torus.DimExchangeSteps for the dimension exchange, ×2 for the
+// reduce+broadcast phases of an allreduce. scripts/check.sh runs this
+// test explicitly as the model-vs-measured gate.
+func TestMeasuredStepsMatchModel(t *testing.T) {
+	for _, n := range testRanks {
+		for _, sched := range schedules {
+			w, err := NewWorld(Options{Ranks: n, Schedule: sched})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const calls = 3
+			w.Run(func(c *Comm) error {
+				data := make([]float64, 8)
+				for k := 0; k < calls; k++ {
+					c.Allreduce(data)
+				}
+				return nil
+			})
+			w.Close()
+
+			tor, _ := torus.New(w.Shape())
+			var predictedReduce int
+			if sched == DimExchange {
+				predictedReduce = tor.DimExchangeSteps()
+			} else if n > 1 {
+				predictedReduce = bits.Len(uint(n - 1))
+			}
+			if got := w.PredictedReduceSteps(); got != predictedReduce {
+				t.Fatalf("n=%d %v: PredictedReduceSteps %d, model %d", n, sched, got, predictedReduce)
+			}
+			measured := w.Registry().Counter("mprt.allreduce.steps").Value()
+			if want := int64(calls * 2 * predictedReduce); measured != want {
+				t.Fatalf("n=%d %v: measured allreduce steps %d, model predicts %d",
+					n, sched, measured, want)
+			}
+			if got := w.Registry().Counter("mprt.allreduce.calls").Value(); got != calls {
+				t.Fatalf("n=%d %v: %d calls recorded, want %d", n, sched, got, calls)
+			}
+		}
+	}
+}
+
+func TestTrafficCounters(t *testing.T) {
+	w, err := NewWorld(Options{Ranks: 4, Schedule: Binomial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	const m = 10
+	w.Run(func(c *Comm) error {
+		data := make([]float64, m)
+		c.Allreduce(data)
+		return nil
+	})
+	// Binomial over 4 ranks: reduce sends from ranks 1,3 (stride 1) and 2
+	// (stride 2); bcast mirrors them: 6 messages of m floats.
+	if got := w.Registry().Counter("mprt.sends").Value(); got != 6 {
+		t.Fatalf("sends = %d, want 6", got)
+	}
+	if got := w.Registry().Counter("mprt.bytes").Value(); got != 6*m*8 {
+		t.Fatalf("bytes = %d, want %d", got, 6*m*8)
+	}
+	var perRank int64
+	for r := 0; r < 4; r++ {
+		perRank += w.Comm(r).BytesSent()
+	}
+	if perRank != w.Registry().Counter("mprt.bytes").Value() {
+		t.Fatalf("per-rank bytes %d != registry total", perRank)
+	}
+	if w.Registry().Counter("mprt.hops").Value() < 6 {
+		t.Fatalf("hops = %d, want >= 1 per send", w.Registry().Counter("mprt.hops").Value())
+	}
+}
+
+// TestNoGoroutineLeak enforces the lifecycle criterion: a world spawns
+// goroutines only inside Run, so after Run returns and Close is called
+// the goroutine count returns to its baseline.
+func TestNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for rep := 0; rep < 3; rep++ {
+		w, err := NewWorld(Options{Ranks: 8, Schedule: DimExchange})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Run(func(c *Comm) error {
+			data := make([]float64, 16)
+			c.Allreduce(data)
+			c.Barrier()
+			return nil
+		})
+		w.Close()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestWorldValidation(t *testing.T) {
+	if _, err := NewWorld(Options{Ranks: 0}); err == nil {
+		t.Fatal("expected error for 0 ranks")
+	}
+	if _, err := NewWorld(Options{Ranks: 3, Shape: torus.Shape{2, 1, 1, 1, 1}}); err == nil {
+		t.Fatal("expected error for shape/rank mismatch")
+	}
+	w, err := NewWorld(Options{Ranks: 6, Schedule: DimExchange})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if w.Shape().Nodes() != 6 {
+		t.Fatalf("auto shape %v does not cover 6 ranks", w.Shape())
+	}
+	// Round-trip the embedding.
+	for r := 0; r < 6; r++ {
+		tor, _ := torus.New(w.Shape())
+		if back := tor.Rank(w.CoordOf(r)); back != r {
+			t.Fatalf("rank %d -> %v -> %d", r, w.CoordOf(r), back)
+		}
+	}
+}

@@ -71,6 +71,15 @@ type JobRequest struct {
 	// direct). It never changes the numbers, only the speed, so it is
 	// part of the builder identity but not of the result cache key.
 	CacheMB int `json:"cacheMb,omitempty"`
+	// Ranks runs the Fock build on the in-process mprt multi-rank runtime
+	// (kind buildjk only): the screened task list is statically
+	// partitioned over this many torus-mapped ranks and the partial J/K
+	// are combined with deterministic collectives. The result is bitwise
+	// identical to the single-rank build, so ranks shapes the builder —
+	// and the per-rank phase walls in /metrics — but not the result cache
+	// key. 0 or 1 means single-rank; the semi-direct ERI cache (cacheMb)
+	// is disabled on the distributed path.
+	Ranks int `json:"ranks,omitempty"`
 	// TimeoutMS is the per-job deadline in milliseconds (0 = server
 	// default). The deadline is checked between SCF iterations.
 	TimeoutMS int64 `json:"timeoutMs,omitempty"`
@@ -156,8 +165,22 @@ func (r *JobRequest) validate() error {
 	if r.CacheMB < 0 {
 		return fmt.Errorf("negative cacheMb %d", r.CacheMB)
 	}
+	if r.Ranks < 0 {
+		return fmt.Errorf("negative ranks %d", r.Ranks)
+	}
+	if r.Ranks > maxJobRanks {
+		return fmt.Errorf("ranks %d exceeds the per-job limit %d", r.Ranks, maxJobRanks)
+	}
+	if r.Ranks > 1 && r.Kind != KindBuildJK {
+		return fmt.Errorf("ranks is only supported for buildjk jobs")
+	}
 	return nil
 }
+
+// maxJobRanks bounds the mprt world one job may request: each rank is a
+// goroutine with its own persistent pool, so the limit keeps a single
+// request from monopolising the process.
+const maxJobRanks = 64
 
 // resolveMolecule maps the request's geometry selector to a Molecule.
 // For solvent-scan jobs it returns the closest-approach geometry, which
@@ -255,22 +278,22 @@ type JobResult struct {
 // SCFSummary is the shared JSON encoding of a converged SCF result, used
 // by the server and by cmd/scfrun -json.
 type SCFSummary struct {
-	Energy      float64    `json:"energy"`
-	EOne        float64    `json:"eOne"`
-	ECoulomb    float64    `json:"eCoulomb"`
-	EExchangeHF float64    `json:"eExchangeHF"`
-	EXC         float64    `json:"exc"`
-	ENuclear    float64    `json:"eNuclear"`
-	Converged   bool       `json:"converged"`
-	Iterations  int        `json:"iterations"`
-	NBasis      int        `json:"nbasis"`
+	Energy      float64 `json:"energy"`
+	EOne        float64 `json:"eOne"`
+	ECoulomb    float64 `json:"eCoulomb"`
+	EExchangeHF float64 `json:"eExchangeHF"`
+	EXC         float64 `json:"exc"`
+	ENuclear    float64 `json:"eNuclear"`
+	Converged   bool    `json:"converged"`
+	Iterations  int     `json:"iterations"`
+	NBasis      int     `json:"nbasis"`
 	// HOMO and LUMO are omitted when undefined (no occupied orbitals,
 	// or a minimal basis with no virtuals — e.g. He/STO-3G): NaN is not
 	// representable in JSON.
 	HOMO     *float64   `json:"homo,omitempty"`
 	LUMO     *float64   `json:"lumo,omitempty"`
-	Dipole      [3]float64 `json:"dipole"`
-	Mulliken    []float64  `json:"mulliken,omitempty"`
+	Dipole   [3]float64 `json:"dipole"`
+	Mulliken []float64  `json:"mulliken,omitempty"`
 }
 
 // SummarizeSCF builds the shared wire encoding from an SCF result.
@@ -318,6 +341,13 @@ type BuildSummary struct {
 	// of this build (absent for fully direct builders, cacheMb = 0).
 	EriCacheHits   int64 `json:"eriCacheHits,omitempty"`
 	EriCacheMisses int64 `json:"eriCacheMisses,omitempty"`
+	// Ranks/CommBytes/ReduceSteps describe the distributed path (requests
+	// with ranks > 1): the mprt rank count, total collective traffic and
+	// the measured reduce-scatter + allgather schedule steps. Absent for
+	// single-rank builds.
+	Ranks       int   `json:"ranks,omitempty"`
+	CommBytes   int64 `json:"commBytes,omitempty"`
+	ReduceSteps int64 `json:"reduceSteps,omitempty"`
 }
 
 // ScreenSummary reports screening statistics and the admission-time cost
@@ -396,8 +426,10 @@ func prepare(req *JobRequest, threads int, sopts screen.Options) (*prepared, flo
 		makespanNS: sched.PredictMakespan(sched.LPT, costs, max(threads, 1)),
 	}
 	// The geometry+method hash doubles as builder identity; the ERI cache
-	// budget shapes the builder (not the result), so it extends the key.
-	p.builderKey = fmt.Sprintf("%s;cachemb=%d", req.cacheKey(mol), req.CacheMB)
+	// budget and the rank count shape the builder (not the result — the
+	// distributed build is bitwise-pinned), so they extend the key.
+	p.builderKey = fmt.Sprintf("%s;cachemb=%d;ranks=%d",
+		req.cacheKey(mol), req.CacheMB, max(req.Ranks, 1))
 	predicted := p.makespanNS
 	switch req.Kind {
 	case KindSCF:

@@ -14,6 +14,7 @@ import (
 	"hfxmd/internal/chem"
 	"hfxmd/internal/dft"
 	"hfxmd/internal/hfx"
+	"hfxmd/internal/mprt"
 	"hfxmd/internal/scf"
 	"hfxmd/internal/screen"
 	"hfxmd/internal/trace"
@@ -169,14 +170,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 type workerState struct {
 	key     string
 	builder *hfx.Builder
+	dist    *hfx.DistBuilder
 	prep    *prepared
 }
 
-// close releases the cached builder, if any.
+// close releases the cached builders, if any.
 func (st *workerState) close(reg *trace.Registry) {
 	if st.builder != nil {
 		st.builder.Close()
 		st.builder = nil
+		reg.Gauge("builders.open").Add(-1)
+	}
+	if st.dist != nil {
+		st.dist.Close()
+		st.dist = nil
 		reg.Gauge("builders.open").Add(-1)
 	}
 }
@@ -199,6 +206,35 @@ func (st *workerState) builderFor(j *job, threads int, reg *trace.Registry) *hfx
 	reg.Counter("builders.created").Add(1)
 	reg.Gauge("builders.open").Add(1)
 	return st.builder
+}
+
+// distBuilderFor is builderFor's multi-rank counterpart: it caches a
+// DistBuilder under the same builder key (which includes the rank
+// count, so single-rank and distributed builders never collide). The
+// distributed build is bitwise identical to the single-rank one; only
+// the wall-time decomposition and the traffic metrics change.
+func (st *workerState) distBuilderFor(j *job, reg *trace.Registry) (*hfx.DistBuilder, error) {
+	if st.dist != nil && st.key == j.prep.builderKey {
+		reg.Counter("builders.reused").Add(1)
+		return st.dist, nil
+	}
+	st.close(reg)
+	opts := hfx.DefaultOptions()
+	opts.DensityWeighted = *j.req.DensityWeighted
+	d, err := hfx.NewDistBuilder(j.prep.eng, j.prep.scr, hfx.DistOptions{
+		Ranks:    j.req.Ranks,
+		Schedule: mprt.DimExchange,
+		Opts:     opts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.dist = d
+	st.key = j.prep.builderKey
+	st.prep = j.prep
+	reg.Counter("builders.created").Add(1)
+	reg.Gauge("builders.open").Add(1)
+	return d, nil
 }
 
 // worker is the persistent job loop: pop, execute, finish; on drain it
@@ -306,6 +342,9 @@ func (s *Server) runSCF(j *job) *JobResult {
 }
 
 func (s *Server) runBuildJK(st *workerState, j *job) *JobResult {
+	if j.req.Ranks > 1 {
+		return s.runDistBuildJK(st, j)
+	}
 	b := st.builderFor(j, s.cfg.BuilderThreads, s.reg)
 	p := scf.SADDensity(j.prep.set)
 	jm, km, rep := b.BuildJK(p)
@@ -322,6 +361,33 @@ func (s *Server) runBuildJK(st *workerState, j *job) *JobResult {
 		ExchangeEnergy:   hfx.ExchangeEnergy(p, km),
 		EriCacheHits:     rep.Cache.Hits,
 		EriCacheMisses:   rep.Cache.Misses,
+	}}
+}
+
+// runDistBuildJK is the ranks > 1 path of a buildjk job: the build runs
+// on the in-process mprt runtime, and the per-rank compute/comm phase
+// walls plus the collective traffic land in the /metrics registry.
+func (s *Server) runDistBuildJK(st *workerState, j *job) *JobResult {
+	d, err := st.distBuilderFor(j, s.reg)
+	if err != nil {
+		return &JobResult{State: StateFailed, Error: err.Error()}
+	}
+	p := scf.SADDensity(j.prep.set)
+	jm, km, rep := d.BuildJK(p)
+	s.mergeDistReport(rep)
+	return &JobResult{State: StateDone, Build: &BuildSummary{
+		NBasis:           j.prep.set.NBasis,
+		NTasks:           rep.NTasks,
+		QuartetsComputed: rep.QuartetsComputed,
+		QuartetsScreened: rep.QuartetsScreened,
+		BalanceRatio:     rep.BalanceRatio,
+		WallNS:           rep.Wall.Nanoseconds(),
+		JNorm:            frobenius(jm),
+		KNorm:            frobenius(km),
+		ExchangeEnergy:   hfx.ExchangeEnergy(p, km),
+		Ranks:            rep.Ranks,
+		CommBytes:        rep.CommBytes,
+		ReduceSteps:      rep.MeasuredSteps,
 	}}
 }
 
@@ -391,6 +457,24 @@ func (s *Server) mergeReport(rep hfx.Report) {
 		for _, p := range rep.Timings.Phases() {
 			s.reg.Timer.Charge("hfx."+p.Name, p.D)
 		}
+	}
+}
+
+// mergeDistReport folds one distributed build into the registry: the
+// aggregate build counters, the collective-traffic totals, and the
+// per-rank compute/comm phase walls, so /metrics exposes the rank
+// decomposition of every distributed job.
+func (s *Server) mergeDistReport(rep hfx.DistReport) {
+	s.reg.Counter("hfx.fock_builds").Add(1)
+	s.reg.Counter("hfx.quartets_computed").Add(rep.QuartetsComputed)
+	s.reg.Counter("hfx.quartets_screened").Add(rep.QuartetsScreened)
+	s.reg.Counter("mprt.comm_bytes").Add(rep.CommBytes)
+	s.reg.Counter("mprt.sends").Add(rep.Sends)
+	s.reg.Counter("mprt.hops").Add(rep.Hops)
+	s.reg.Counter("mprt.reduce_steps").Add(rep.MeasuredSteps)
+	for r := range rep.RankCompute {
+		s.reg.Timer.Charge(fmt.Sprintf("dist.rank%d.compute", r), rep.RankCompute[r])
+		s.reg.Timer.Charge(fmt.Sprintf("dist.rank%d.comm", r), rep.RankComm[r])
 	}
 }
 

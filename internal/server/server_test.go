@@ -44,8 +44,8 @@ func TestQueueAgingBoundsStarvation(t *testing.T) {
 	// cheap job arriving after predicted/aging seconds ranks behind it.
 	const aging = 1e8 // ns per queued second
 	expensive := fakeJob("expensive", 5e8+aging*0, 0)
-	earlyCheap := fakeJob("early-cheap", 1e6+aging*1, 1)  // 1s later: overtakes
-	lateCheap := fakeJob("late-cheap", 1e6+aging*600, 2)  // 10min later: does not
+	earlyCheap := fakeJob("early-cheap", 1e6+aging*1, 1) // 1s later: overtakes
+	lateCheap := fakeJob("late-cheap", 1e6+aging*600, 2) // 10min later: does not
 	q := newQueue(8)
 	for _, j := range []*job{expensive, earlyCheap, lateCheap} {
 		if err := q.push(j); err != nil {
@@ -302,6 +302,73 @@ func TestServerSemiDirectBuildJK(t *testing.T) {
 	// worker means two builders were created, plus one warm reuse.
 	if created, reused := counter(s, "builders.created"), counter(s, "builders.reused"); created != 2 || reused != 1 {
 		t.Fatalf("builder lifecycle: created=%d reused=%d, want 2/1", created, reused)
+	}
+}
+
+func TestServerDistributedBuildJK(t *testing.T) {
+	// BuilderThreads 4 makes the single-rank builder's global worker count
+	// equal to the distributed build's 4 ranks × 1 thread — the
+	// configuration the bitwise contract pins.
+	s := New(Config{Workers: 1, CacheCap: -1, BuilderThreads: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Shutdown(context.Background())
+
+	single := submit(t, ts, JobRequest{Kind: KindBuildJK, System: "water"})
+	if single.State != StateDone || single.Build == nil || single.Build.Ranks != 0 {
+		t.Fatalf("single-rank buildjk: %+v", single)
+	}
+	dist := submit(t, ts, JobRequest{Kind: KindBuildJK, System: "water", Ranks: 4})
+	if dist.State != StateDone || dist.Build == nil {
+		t.Fatalf("distributed buildjk: %+v", dist)
+	}
+	if dist.Build.Ranks != 4 || dist.Build.CommBytes <= 0 || dist.Build.ReduceSteps <= 0 {
+		t.Fatalf("distributed summary missing traffic: %+v", dist.Build)
+	}
+	// The bitwise contract holds through the service path: the ranks=4
+	// build must reproduce the single-rank norms and exchange energy
+	// exactly, not approximately.
+	if dist.Build.JNorm != single.Build.JNorm || dist.Build.KNorm != single.Build.KNorm {
+		t.Fatalf("distributed norms diverged: J %x vs %x, K %x vs %x",
+			dist.Build.JNorm, single.Build.JNorm, dist.Build.KNorm, single.Build.KNorm)
+	}
+	if dist.Build.ExchangeEnergy != single.Build.ExchangeEnergy {
+		t.Fatal("distributed exchange energy diverged")
+	}
+
+	// Same request again: the worker must reuse its cached DistBuilder.
+	submit(t, ts, JobRequest{Kind: KindBuildJK, System: "water", Ranks: 4})
+	if created, reused := counter(s, "builders.created"), counter(s, "builders.reused"); created != 2 || reused != 1 {
+		t.Fatalf("builder lifecycle: created=%d reused=%d, want 2/1", created, reused)
+	}
+
+	// Per-rank phase walls and collective traffic land in /metrics.
+	for r := 0; r < 4; r++ {
+		if s.Metrics().Timer.Get(fmt.Sprintf("dist.rank%d.compute", r)) <= 0 {
+			t.Fatalf("rank %d compute phase missing from registry", r)
+		}
+		if s.Metrics().Timer.Get(fmt.Sprintf("dist.rank%d.comm", r)) <= 0 {
+			t.Fatalf("rank %d comm phase missing from registry", r)
+		}
+	}
+	if counter(s, "mprt.comm_bytes") != 2*dist.Build.CommBytes {
+		t.Fatalf("mprt.comm_bytes %d, want %d (two identical builds)",
+			counter(s, "mprt.comm_bytes"), 2*dist.Build.CommBytes)
+	}
+	if counter(s, "mprt.reduce_steps") != 2*dist.Build.ReduceSteps {
+		t.Fatalf("mprt.reduce_steps %d, want %d", counter(s, "mprt.reduce_steps"), 2*dist.Build.ReduceSteps)
+	}
+
+	// Validation: ranks is buildjk-only and bounded.
+	for _, bad := range []JobRequest{
+		{Kind: KindSCF, System: "water", Ranks: 4},
+		{Kind: KindBuildJK, System: "water", Ranks: -1},
+		{Kind: KindBuildJK, System: "water", Ranks: maxJobRanks + 1},
+	} {
+		bad.normalize()
+		if err := bad.validate(); err == nil {
+			t.Fatalf("request %+v must be rejected", bad)
+		}
 	}
 }
 

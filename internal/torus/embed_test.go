@@ -1,0 +1,123 @@
+package torus
+
+import "testing"
+
+// TestShapeForNodesCoverage checks the mprt embedding over a wide range of
+// node counts: exact coverage, the power-of-two invariant on every
+// dimension except A, and fast-dimensions-first filling.
+func TestShapeForNodesCoverage(t *testing.T) {
+	isPow2 := func(x int) bool { return x > 0 && x&(x-1) == 0 }
+	for n := 1; n <= 256; n++ {
+		s, err := ShapeForNodes(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Nodes() != n {
+			t.Fatalf("n=%d: shape %v covers %d nodes", n, s, s.Nodes())
+		}
+		if !s.Valid() {
+			t.Fatalf("n=%d: invalid shape %v", n, s)
+		}
+		for d := 1; d < Dims; d++ {
+			if !isPow2(s[d]) {
+				t.Fatalf("n=%d: dimension %d of %v is %d, not a power of two", n, d, s, s[d])
+			}
+		}
+	}
+	if _, err := ShapeForNodes(0); err == nil {
+		t.Fatal("expected error for 0 nodes")
+	}
+	if _, err := ShapeForNodes(-4); err == nil {
+		t.Fatal("expected error for negative nodes")
+	}
+}
+
+// TestShapeForNodesKnown pins specific embeddings: odd factor into A,
+// powers of two spread E-first, A doubling only on overflow.
+func TestShapeForNodesKnown(t *testing.T) {
+	cases := []struct {
+		n    int
+		want Shape
+	}{
+		{1, Shape{1, 1, 1, 1, 1}},
+		{2, Shape{1, 1, 1, 1, 2}},
+		{3, Shape{3, 1, 1, 1, 1}},
+		{4, Shape{1, 1, 1, 2, 2}},
+		{6, Shape{3, 1, 1, 1, 2}},
+		{8, Shape{1, 1, 2, 2, 2}},
+		{12, Shape{3, 1, 1, 2, 2}},
+		{16, Shape{1, 2, 2, 2, 2}},
+		{32, Shape{2, 2, 2, 2, 2}},
+		{48, Shape{3, 2, 2, 2, 2}},
+		{64, Shape{4, 2, 2, 2, 2}},
+		{5, Shape{5, 1, 1, 1, 1}},
+		{20, Shape{5, 1, 1, 2, 2}},
+	}
+	for _, c := range cases {
+		s, err := ShapeForNodes(c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != c.want {
+			t.Fatalf("ShapeForNodes(%d) = %v, want %v", c.n, s, c.want)
+		}
+	}
+}
+
+// TestRoundTripEveryNode walks every node of several shapes — including
+// non-power-of-two dimensions and the production E=2 constraint — and
+// checks rank→coord→rank identity plus row-major ordering (A slowest).
+func TestRoundTripEveryNode(t *testing.T) {
+	shapes := []Shape{
+		{3, 2, 1, 1, 2}, // non-power-of-two A, mixed fast dims
+		{5, 1, 1, 1, 1}, // single odd dimension
+		{2, 3, 4, 5, 2}, // every length different, E=2
+		{4, 4, 4, 8, 2}, // production 1-rack shape
+		{1, 1, 1, 1, 1}, // degenerate single node
+		{7, 2, 2, 2, 2}, // ShapeForNodes(112) style
+	}
+	for _, s := range shapes {
+		tor, err := New(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := -1
+		for rank := 0; rank < s.Nodes(); rank++ {
+			c := tor.Coords(rank)
+			for d := 0; d < Dims; d++ {
+				if c[d] < 0 || c[d] >= s[d] {
+					t.Fatalf("shape %v rank %d: coordinate %v out of bounds", s, rank, c)
+				}
+			}
+			if got := tor.Rank(c); got != rank {
+				t.Fatalf("shape %v: rank %d -> %v -> %d", s, rank, c, got)
+			}
+			if rank <= prev {
+				t.Fatalf("shape %v: rank ordering broke at %d", s, rank)
+			}
+			prev = rank
+		}
+		// Row-major with A slowest: incrementing the A coordinate jumps the
+		// rank by the product of all faster dimensions.
+		if s[0] > 1 {
+			stride := s.Nodes() / s[0]
+			c0, c1 := tor.Coords(0), Coord{1, 0, 0, 0, 0}
+			if tor.Rank(c1)-tor.Rank(c0) != stride {
+				t.Fatalf("shape %v: A stride %d, want %d", s, tor.Rank(c1), stride)
+			}
+		}
+	}
+}
+
+// TestProductionShapesKeepE2 checks every tabulated production rack shape
+// keeps the hardware's fixed E=2 dimension.
+func TestProductionShapesKeepE2(t *testing.T) {
+	for racks, s := range rackShapes {
+		if s[4] != 2 {
+			t.Fatalf("%d-rack shape %v: E dimension %d != 2", racks, s, s[4])
+		}
+		if !s.Valid() {
+			t.Fatalf("%d-rack shape %v invalid", racks, s)
+		}
+	}
+}

@@ -98,6 +98,38 @@ func smallestFactor(n int) int {
 	return n
 }
 
+// ShapeForNodes embeds an arbitrary positive node count into a 5-D shape
+// for the in-process message-passing runtime (package mprt). Unlike
+// ShapeForRacks it does not force E=2: the count's odd factor goes
+// entirely into A (the slowest row-major dimension) and the power-of-two
+// factor is spread over E,D,C,B (fastest first), doubling A only when the
+// four fast dimensions are exhausted.
+//
+// The resulting invariant — every dimension except possibly A has a
+// power-of-two length — is what lets the dimension-ordered exchange
+// schedule of package mprt reproduce the canonical binary reduction tree
+// exactly (see the determinism rules in DESIGN.md).
+func ShapeForNodes(n int) (Shape, error) {
+	if n < 1 {
+		return Shape{}, fmt.Errorf("torus: node count %d out of range", n)
+	}
+	twos := 0
+	odd := n
+	for odd%2 == 0 {
+		odd /= 2
+		twos++
+	}
+	s := Shape{odd, 1, 1, 1, 1}
+	for d := Dims - 1; d >= 1 && twos > 0; d-- {
+		s[d] = 2
+		twos--
+	}
+	for ; twos > 0; twos-- {
+		s[0] *= 2
+	}
+	return s, nil
+}
+
 // Coord is a node coordinate in the torus.
 type Coord [Dims]int
 

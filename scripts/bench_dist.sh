@@ -1,0 +1,40 @@
+#!/bin/sh
+# Benchmark the rank-distributed Fock build across rank counts (1, 2, 4,
+# 8 ranks on the dimension-exchange schedule, plus 4 ranks binomial) and
+# emit BENCH_dist.json: ns/op, per-build collective traffic in bytes,
+# measured schedule steps and allocs/op per configuration. This file is
+# the committed distributed-build baseline.
+#
+# Usage: scripts/bench_dist.sh [output.json]
+# BENCHTIME overrides -benchtime (default 3x).
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_dist.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test ./internal/hfx/ -run '^$' \
+	-bench 'BenchmarkDistBuildR(1|2|4|8|4Binomial)$' \
+	-benchtime "${BENCHTIME:-3x}" -count 1 | tee "$raw"
+
+awk '
+/^BenchmarkDistBuild/ {
+	name = $1; sub(/-[0-9]+$/, "", name)
+	ns = "null"; cb = "null"; st = "null"; al = "null"
+	for (i = 2; i < NF; i++) {
+		if ($(i+1) == "ns/op")        ns = $i
+		if ($(i+1) == "commbytes/op") cb = $i
+		if ($(i+1) == "steps/op")     st = $i
+		if ($(i+1) == "allocs/op")    al = $i
+	}
+	n++
+	lines[n] = sprintf("  \"%s\": {\"ns_per_op\": %s, \"comm_bytes_per_op\": %s, \"steps_per_op\": %s, \"allocs_per_op\": %s}", name, ns, cb, st, al)
+}
+END {
+	if (n == 0) { print "bench_dist: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+	print "{"
+	for (i = 1; i <= n; i++) printf "%s%s\n", lines[i], (i < n ? "," : "")
+	print "}"
+}' "$raw" > "$out"
+
+echo "wrote $out"

@@ -8,7 +8,11 @@
 # backpressure, drain, no goroutine leak), the hfxd end-to-end smoke test,
 # and the Fock bench regression gate: a fresh scripts/bench_fock.sh run
 # must not regress semi-direct ns/op by >20% against the committed
-# BENCH_fock.json baseline.
+# BENCH_fock.json baseline. The mprt runtime gets its own race pass (the
+# collectives and the bitwise-pinned distributed build), a model gate
+# (TestMeasuredStepsMatchModel fails when the measured collective step
+# counters diverge from the bgq machine-model prediction), and a 4-rank
+# hfxscale d1 smoke run (expD1 itself aborts on model divergence).
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -22,6 +26,16 @@ go test -race -count=1 ./internal/hfx/ -run 'SemiDirect|EarlyExit|Cache|SteadySt
 # on warm-cache misses, and the allocs/op column must read 0.
 go test ./internal/hfx/ -run '^$' -bench 'BenchmarkBuildJK(Pooled|SemiDirect)$' -benchtime 1x
 go test -race -count=1 ./internal/server/ ./internal/trace/
+# mprt runtime and the rank-distributed build: race pass over the
+# collectives, the bitwise single-rank pin, and the torus embedding.
+go test -race -count=1 ./internal/mprt/ ./internal/torus/
+go test -race -count=1 ./internal/hfx/ -run 'TestDistributedBuildMatchesSingleRank|TestDistBuilder'
+# Model gate: measured collective steps must equal the bgq machine-model
+# prediction for both schedules on every tested world size.
+go test -count=1 ./internal/mprt/ -run 'TestMeasuredStepsMatchModel'
+# 4-rank distributed scaling smoke: expD1 log.Fatals if the measured
+# step counters diverge from the model.
+go run ./cmd/hfxscale -exp d1 -d1-ranks 1,4 -d1-waters 1
 scripts/smoke_hfxd.sh
 
 # Fock bench regression gate against the committed baseline.
