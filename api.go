@@ -3,10 +3,12 @@ package hfxmd
 import (
 	"context"
 	"io"
+	"time"
 
 	"hfxmd/internal/basis"
 	"hfxmd/internal/bgq"
 	"hfxmd/internal/chem"
+	"hfxmd/internal/ckpt"
 	"hfxmd/internal/dft"
 	"hfxmd/internal/hfx"
 	"hfxmd/internal/integrals"
@@ -19,6 +21,7 @@ import (
 	"hfxmd/internal/screen"
 	"hfxmd/internal/server"
 	"hfxmd/internal/torus"
+	"hfxmd/internal/trace"
 )
 
 // ---------------------------------------------------------------------------
@@ -254,8 +257,10 @@ func NewDistExchangeBuilder(mol *Molecule, basisName string, sopts ScreeningOpti
 
 // BuildJK evaluates J and K across the ranks. Like
 // ExchangeBuilder.BuildJK, the returned matrices alias builder-owned
-// buffers and are valid only until the next BuildJK.
-func (e *DistExchangeBuilder) BuildJK(p *Matrix) (j, k *Matrix, rep DistExchangeReport) {
+// buffers and are valid only until the next BuildJK. The error reports a
+// rank failure the builder could not recover from (an injected rank
+// death is recovered internally and only shows up as rep.RankRestarts).
+func (e *DistExchangeBuilder) BuildJK(p *Matrix) (j, k *Matrix, rep DistExchangeReport, err error) {
 	return e.d.BuildJK(p)
 }
 
@@ -305,6 +310,62 @@ type OptimizeResult = opt.Result
 // Optimize relaxes a geometry on the given potential surface (FIRE).
 func Optimize(mol *Molecule, pot PotentialFunc, opts OptimizeOptions) (*OptimizeResult, error) {
 	return opt.Minimize(mol, pot, opts)
+}
+
+// MDStepError reports a trajectory failure — SCF non-convergence, a
+// checkpoint write error, an injected fault — at a specific MD step.
+// Match with errors.As; Unwrap exposes the cause.
+type MDStepError = md.StepError
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restart layer.
+
+// CkptConfig configures a trajectory checkpoint writer: directory,
+// snapshot cadence and ring size, optional fault plan and registry.
+type CkptConfig = ckpt.Config
+
+// CkptWriter makes every completed MD step durable: a write-ahead
+// journal record per step plus a periodic ring of full snapshots. Set it
+// as MDOptions.Ckpt.
+type CkptWriter = ckpt.Writer
+
+// CkptResume is a restored checkpoint: the most advanced durable state
+// and how it was reached (snapshot/journal steps, replays, fallbacks).
+type CkptResume = ckpt.Resume
+
+// CkptFaultPlan injects crash, torn-write and corrupt-section faults
+// into a CkptWriter (test and smoke harness).
+type CkptFaultPlan = ckpt.FaultPlan
+
+// MDState is the complete restartable state of one MD step.
+type MDState = ckpt.MDState
+
+// ErrNoCheckpoint is returned by LoadCkpt on a directory with no usable
+// state.
+var ErrNoCheckpoint = ckpt.ErrNoCheckpoint
+
+// NewCkptWriter opens a checkpoint directory for writing.
+func NewCkptWriter(cfg CkptConfig) (*CkptWriter, error) { return ckpt.NewWriter(cfg) }
+
+// LoadCkpt restores the most advanced durable state from a checkpoint
+// directory: the journal head, or the newest CRC-clean snapshot when the
+// journal is behind; corrupt snapshots are skipped. reg may be nil.
+func LoadCkpt(dir string, reg *TraceRegistry) (*CkptResume, error) { return ckpt.Load(dir, reg) }
+
+// TraceRegistry is the shared counters/gauges/timers registry.
+type TraceRegistry = trace.Registry
+
+// NewTraceRegistry returns an empty registry.
+func NewTraceRegistry() *TraceRegistry { return trace.NewRegistry() }
+
+// MDSummary is the shared JSON encoding of a BOMD trajectory (cmd/aimd
+// -json wire format).
+type MDSummary = server.MDSummary
+
+// SummarizeMD converts a trajectory into the shared wire encoding; wall
+// is the integration wall time of this process.
+func SummarizeMD(traj *Trajectory, wall time.Duration) *MDSummary {
+	return server.SummarizeMD(traj, wall)
 }
 
 // BarrierHeight extracts the maximum relative energy of a profile.
@@ -423,8 +484,9 @@ type JobServerConfig = server.Config
 type JobServer = server.Server
 
 // NewJobServer starts an hfxd worker pool; attach its Handler to an HTTP
-// listener and stop it with Shutdown.
-func NewJobServer(cfg JobServerConfig) *JobServer { return server.New(cfg) }
+// listener and stop it with Shutdown. The error paths are job-journal
+// I/O (Config.JournalPath); a journal-less config cannot fail.
+func NewJobServer(cfg JobServerConfig) (*JobServer, error) { return server.New(cfg) }
 
 // PredictMakespan is the exported cost-prediction hook: the modeled
 // wall-clock of executing tasks with the given costs on nWorkers workers

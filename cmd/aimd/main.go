@@ -1,18 +1,33 @@
 // Command aimd runs Born–Oppenheimer molecular dynamics on the SCF
 // potential-energy surface (experiment E7: hybrid-functional AIMD
-// feasibility and energy conservation).
+// feasibility and energy conservation), with durable checkpoint/restart.
 //
 // Usage:
 //
 //	aimd -system h2 -steps 20 -dt 0.4 -functional HF
 //	aimd -system water -steps 10 -functional PBE0 -temp 300
+//
+// Checkpointed trajectory, killed and resumed:
+//
+//	aimd -system h2 -steps 200 -ckpt-dir run1 -ckpt-every 10   # SIGKILL it
+//	aimd -system h2 -steps 200 -ckpt-dir run1 -resume          # continues
+//
+// The resumed trajectory is bitwise identical to an uninterrupted one:
+// every completed step is journaled before the next begins, and the
+// integrator re-executes deterministically from any durable state. The
+// -json summary's finalStateSha256 fingerprints the complete final MD
+// state, so two runs agree on it iff they agree on every bit.
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
+	"time"
 
 	"hfxmd"
 )
@@ -28,6 +43,14 @@ func main() {
 		dt         = flag.Float64("dt", 0.4, "timestep in fs")
 		temp       = flag.Float64("temp", 0, "initial temperature in K (0 = static start)")
 		thermostat = flag.Bool("thermostat", false, "enable Berendsen thermostat")
+		seed       = flag.Int64("seed", 7, "velocity-initialisation seed")
+
+		ckptDir   = flag.String("ckpt-dir", "", "checkpoint directory (empty disables checkpointing)")
+		ckptEvery = flag.Int64("ckpt-every", 10, "snapshot cadence in steps (journal covers the gaps)")
+		ckptKeep  = flag.Int("ckpt-keep", 3, "snapshot ring size")
+		resume    = flag.Bool("resume", false, "resume from the most advanced durable state in -ckpt-dir")
+
+		jsonOut = flag.Bool("json", false, "print a JSON summary instead of the frame table")
 	)
 	flag.Parse()
 
@@ -48,18 +71,89 @@ func main() {
 	}
 	pot := hfxmd.SCFPotential(hfxmd.SCFConfig{Basis: *basisName, Functional: f})
 
-	fmt.Printf("BOMD: %s, %s/%s, %d steps of %.2f fs, T0=%.0fK thermostat=%v\n\n",
-		mol.Name, *functional, *basisName, *steps, *dt, *temp, *thermostat)
-	traj, err := hfxmd.RunMD(mol, pot, hfxmd.MDOptions{
-		Steps: *steps, Dt: *dt, TemperatureK: *temp, Thermostat: *thermostat, Seed: 7,
-	})
+	opts := hfxmd.MDOptions{
+		Steps: *steps, Dt: *dt, TemperatureK: *temp, Thermostat: *thermostat, Seed: *seed,
+	}
+
+	reg := hfxmd.NewTraceRegistry()
+	var res *hfxmd.CkptResume
+	if *resume {
+		if *ckptDir == "" {
+			log.Fatal("-resume requires -ckpt-dir")
+		}
+		r, err := hfxmd.LoadCkpt(*ckptDir, reg)
+		if err != nil {
+			if errors.Is(err, hfxmd.ErrNoCheckpoint) {
+				log.Fatalf("%s holds no usable checkpoint", *ckptDir)
+			}
+			log.Fatal(err)
+		}
+		res = r
+		opts.Resume = r.State
+	}
+	if *ckptDir != "" {
+		w, err := hfxmd.NewCkptWriter(hfxmd.CkptConfig{
+			Dir: *ckptDir, Every: *ckptEvery, Keep: *ckptKeep, Registry: reg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer w.Close()
+		opts.Ckpt = w
+	}
+
+	if !*jsonOut {
+		fmt.Printf("BOMD: %s, %s/%s, %d steps of %.2f fs, T0=%.0fK thermostat=%v\n",
+			mol.Name, *functional, *basisName, *steps, *dt, *temp, *thermostat)
+		if res != nil {
+			fmt.Printf("resumed from step %d (snapshot %d, journal %d, %d replayed, %d fallbacks)\n",
+				res.State.Step, res.SnapshotStep, res.JournalStep, res.ReplayedSteps, res.Fallbacks)
+		}
+		fmt.Println()
+	}
+
+	t0 := time.Now()
+	traj, err := hfxmd.RunMD(mol, pot, opts)
 	if err != nil {
+		var se *hfxmd.MDStepError
+		if errors.As(err, &se) {
+			log.Fatalf("trajectory failed at step %d: %v (resume from -ckpt-dir to retry)", se.Step, se.Err)
+		}
 		log.Fatal(err)
 	}
+	wall := time.Since(t0)
+
+	if *jsonOut {
+		sum := hfxmd.SummarizeMD(traj, wall)
+		if res != nil {
+			step := res.State.Step
+			sum.ResumedFromStep = &step
+			sum.ReplayedSteps = res.ReplayedSteps
+		}
+		if *ckptDir != "" {
+			sum.CkptSnapshots = reg.Counter("ckpt.snapshots").Value()
+			sum.CkptSnapshotBytes = reg.Counter("ckpt.snapshot_bytes").Value()
+			sum.CkptJournalAppends = reg.Counter("ckpt.journal_appends").Value()
+			sum.CkptJournalBytes = reg.Counter("ckpt.journal_bytes").Value()
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	fmt.Printf("%5s %8s %16s %14s %16s %9s\n", "step", "t [fs]", "E_pot [Eh]", "E_kin [Eh]", "E_tot [Eh]", "T [K]")
 	for _, fr := range traj.Frames {
 		fmt.Printf("%5d %8.2f %16.8f %14.8f %16.8f %9.1f\n",
 			fr.Step, fr.TimeFS, fr.Potential, fr.Kinetic, fr.Total, fr.TempK)
 	}
 	fmt.Printf("\nenergy drift (peak-to-peak per atom): %.3e Eh\n", traj.EnergyDrift())
+	if *ckptDir != "" {
+		fmt.Printf("checkpoints: %d snapshots (%d bytes), %d journal appends (%d bytes) in %s\n",
+			reg.Counter("ckpt.snapshots").Value(), reg.Counter("ckpt.snapshot_bytes").Value(),
+			reg.Counter("ckpt.journal_appends").Value(), reg.Counter("ckpt.journal_bytes").Value(),
+			*ckptDir)
+	}
 }

@@ -51,6 +51,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 2*time.Minute, "default per-job deadline")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
 		aging    = flag.Float64("aging", 1e8, "queue starvation aging (predicted ns per queued second)")
+		journal  = flag.String("journal", "", "crash-safe job journal path (empty disables); queued and running jobs are re-enqueued on boot")
 
 		submit = flag.Bool("submit", false, "client mode: submit one job and print the JSON result")
 		url    = flag.String("url", "http://127.0.0.1:8080", "server URL for -submit")
@@ -70,14 +71,18 @@ func main() {
 		return
 	}
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Workers:        *workers,
 		QueueCap:       *queueCap,
 		CacheCap:       *cacheCap,
 		BuilderThreads: *threads,
 		DefaultTimeout: *timeout,
 		AgingNSPerSec:  *aging,
+		JournalPath:    *journal,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,185 @@
+// Package ckpt is the durability layer for AIMD trajectories: versioned
+// binary snapshots, a per-step write-ahead journal, and fault injection
+// for testing both. The paper's production workload — week-long PBE0
+// dynamics on 96 BG/Q racks — survives node failures by periodically
+// persisting the full MD state and replaying forward; this package is
+// that mechanism for the md driver.
+//
+// # Snapshot format
+//
+// A snapshot file (snap-%012d.ckpt) is
+//
+//	magic   "HFXCKPT\x01"                      (8 bytes)
+//	nsect   uint32 LE                           section count
+//	nsect × sections:
+//	    nameLen uint16 LE, name bytes
+//	    size    uint64 LE                       payload bytes
+//	    crc     uint32 LE                       CRC32 (IEEE) of payload
+//	    payload
+//
+// Every section is independently CRC-checked on read, so a torn write or
+// a flipped bit is detected (and reported as a *CorruptError) rather
+// than silently resumed from. Snapshots are written to a temp file in
+// the same directory, fsynced, and atomically renamed into place; the
+// directory keeps a ring of the last Keep good snapshots.
+//
+// # Journal format
+//
+// The journal (journal.wal) is an append-only sequence of framed
+// records:
+//
+//	magic   "HFXJRNL\x01"                      (8 bytes)
+//	records:
+//	    size uint32 LE                          payload bytes
+//	    crc  uint32 LE                          CRC32 (IEEE) of payload
+//	    payload                                 EncodeState bytes
+//
+// Each record carries the *complete* MD state of one step, so replay is
+// a bitwise restore, not a recomputation: the resumed run continues
+// from exactly the floats the crashed run last made durable. A torn
+// tail (short frame or CRC mismatch) marks the end of the valid prefix
+// and is discarded. The journal is truncated after every durable
+// snapshot, bounding its size to Every records.
+//
+// # Resume invariant
+//
+// Load picks the most advanced durable state: the last valid journal
+// record, or the newest CRC-clean snapshot, whichever carries the
+// higher step. Because velocity-Verlet is deterministic and every state
+// is restored bit-for-bit, a resumed trajectory is bitwise identical to
+// the uninterrupted run from the restore point on — the md tests
+// enforce this to the last ulp for every injected fault mode.
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"hfxmd/internal/chem"
+)
+
+// MDState is the complete, restartable state of an MD trajectory after
+// a given step: everything md.Run needs to continue bit-for-bit.
+type MDState struct {
+	// Step is the last completed MD step.
+	Step int64
+	// Pos, Vel, Frc are positions, velocities and forces (bohr, a.u.).
+	Pos, Vel, Frc []chem.Vec3
+	// Epot is the potential energy at Pos in hartree.
+	Epot float64
+	// ELo/EHi are the accumulated extrema of the conserved total energy
+	// over all frames so far — they make EnergyDrift of a resumed run
+	// equal that of the uninterrupted run.
+	ELo, EHi float64
+	// RNG is the serialized velocity-initialisation RNG state.
+	RNG [3]uint64
+	// ParamsHash fingerprints the run configuration (timestep,
+	// thermostat, seed, atom list). Load refuses to hand a state to a
+	// run with a different fingerprint.
+	ParamsHash uint64
+}
+
+// Clone deep-copies the state.
+func (s *MDState) Clone() *MDState {
+	c := *s
+	c.Pos = append([]chem.Vec3(nil), s.Pos...)
+	c.Vel = append([]chem.Vec3(nil), s.Vel...)
+	c.Frc = append([]chem.Vec3(nil), s.Frc...)
+	return &c
+}
+
+// CorruptError reports a snapshot or journal frame that failed
+// validation; Load treats it as "this copy does not exist" and falls
+// back to the previous good one.
+type CorruptError struct {
+	Path    string
+	Section string
+	Reason  string
+}
+
+func (e *CorruptError) Error() string {
+	if e.Section != "" {
+		return fmt.Sprintf("ckpt: %s: section %q %s", e.Path, e.Section, e.Reason)
+	}
+	return fmt.Sprintf("ckpt: %s: %s", e.Path, e.Reason)
+}
+
+// ---------------------------------------------------------------------------
+// State encoding: fixed-layout little-endian float64 bit images. The
+// encoding is the durability *and* identity format — the aimd -json
+// finalStateSha256 is a hash of exactly these bytes.
+
+// stateVersion is bumped on any change to the EncodeState layout.
+const stateVersion = 1
+
+// EncodeState serialises a state to its canonical binary image.
+func EncodeState(s *MDState) []byte {
+	n := len(s.Pos)
+	buf := make([]byte, 0, 8*8+3*24*n+8*3)
+	u64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	u64(stateVersion)
+	u64(uint64(s.Step))
+	u64(uint64(n))
+	f64(s.Epot)
+	f64(s.ELo)
+	f64(s.EHi)
+	u64(s.RNG[0])
+	u64(s.RNG[1])
+	u64(s.RNG[2])
+	u64(s.ParamsHash)
+	for _, vs := range [][]chem.Vec3{s.Pos, s.Vel, s.Frc} {
+		for _, v := range vs {
+			f64(v[0])
+			f64(v[1])
+			f64(v[2])
+		}
+	}
+	return buf
+}
+
+// DecodeState parses an EncodeState image.
+func DecodeState(b []byte) (*MDState, error) {
+	if len(b) < 10*8 {
+		return nil, fmt.Errorf("ckpt: state image too short (%d bytes)", len(b))
+	}
+	off := 0
+	u64 := func() uint64 {
+		v := binary.LittleEndian.Uint64(b[off:])
+		off += 8
+		return v
+	}
+	f64 := func() float64 { return math.Float64frombits(u64()) }
+	if v := u64(); v != stateVersion {
+		return nil, fmt.Errorf("ckpt: state version %d, want %d", v, stateVersion)
+	}
+	s := &MDState{}
+	s.Step = int64(u64())
+	n := int(u64())
+	if want := 10*8 + 3*24*n; len(b) != want {
+		return nil, fmt.Errorf("ckpt: state image %d bytes, want %d for %d atoms", len(b), want, n)
+	}
+	s.Epot = f64()
+	s.ELo = f64()
+	s.EHi = f64()
+	s.RNG[0] = u64()
+	s.RNG[1] = u64()
+	s.RNG[2] = u64()
+	s.ParamsHash = u64()
+	vecs := func() []chem.Vec3 {
+		vs := make([]chem.Vec3, n)
+		for i := range vs {
+			vs[i] = chem.Vec3{f64(), f64(), f64()}
+		}
+		return vs
+	}
+	s.Pos = vecs()
+	s.Vel = vecs()
+	s.Frc = vecs()
+	return s, nil
+}
+
+// crcIEEE is the checksum both formats frame payloads with.
+func crcIEEE(b []byte) uint32 { return crc32.ChecksumIEEE(b) }

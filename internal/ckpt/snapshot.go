@@ -1,0 +1,301 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hfxmd/internal/chem"
+)
+
+// snapMagic identifies (and versions) the snapshot container format.
+const snapMagic = "HFXCKPT\x01"
+
+// Section names of a snapshot, in file order.
+const (
+	SectionMeta       = "meta"
+	SectionEnergies   = "energies"
+	SectionRNG        = "rng"
+	SectionPositions  = "positions"
+	SectionVelocities = "velocities"
+	SectionForces     = "forces"
+)
+
+var sectionOrder = []string{
+	SectionMeta, SectionEnergies, SectionRNG,
+	SectionPositions, SectionVelocities, SectionForces,
+}
+
+// SnapshotName returns the ring filename of a step's snapshot.
+func SnapshotName(step int64) string { return fmt.Sprintf("snap-%012d.ckpt", step) }
+
+// snapshotStep parses a ring filename back to its step, or -1.
+func snapshotStep(name string) int64 {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".ckpt") {
+		return -1
+	}
+	n, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".ckpt"), 10, 64)
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// encodeSections splits a state into the named snapshot sections.
+func encodeSections(s *MDState) map[string][]byte {
+	u64s := func(vs ...uint64) []byte {
+		b := make([]byte, 0, 8*len(vs))
+		for _, v := range vs {
+			b = binary.LittleEndian.AppendUint64(b, v)
+		}
+		return b
+	}
+	vecs := func(vs []chem.Vec3) []byte {
+		b := make([]byte, 0, 24*len(vs))
+		for _, v := range vs {
+			for k := 0; k < 3; k++ {
+				b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v[k]))
+			}
+		}
+		return b
+	}
+	return map[string][]byte{
+		SectionMeta:       u64s(stateVersion, uint64(s.Step), uint64(len(s.Pos)), s.ParamsHash),
+		SectionEnergies:   u64s(math.Float64bits(s.Epot), math.Float64bits(s.ELo), math.Float64bits(s.EHi)),
+		SectionRNG:        u64s(s.RNG[0], s.RNG[1], s.RNG[2]),
+		SectionPositions:  vecs(s.Pos),
+		SectionVelocities: vecs(s.Vel),
+		SectionForces:     vecs(s.Frc),
+	}
+}
+
+// WriteSnapshot durably writes one snapshot into dir: temp file in the
+// same directory, fsync, atomic rename, directory fsync. It returns the
+// final path.
+func WriteSnapshot(dir string, s *MDState, fsync bool) (string, error) {
+	sects := encodeSections(s)
+	var buf []byte
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sectionOrder)))
+	for _, name := range sectionOrder {
+		p := sects[name]
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
+		buf = append(buf, name...)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(p)))
+		buf = binary.LittleEndian.AppendUint32(buf, crcIEEE(p))
+		buf = append(buf, p...)
+	}
+
+	final := filepath.Join(dir, SnapshotName(s.Step))
+	tmp, err := os.CreateTemp(dir, ".snap-*.tmp")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if fsync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return "", err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return "", err
+	}
+	if fsync {
+		syncDir(dir)
+	}
+	return final, nil
+}
+
+// syncDir fsyncs a directory so a rename is durable; best-effort on
+// filesystems that reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// ReadSnapshot parses and validates one snapshot file. Truncation, a
+// bad magic, or any section CRC mismatch returns a *CorruptError.
+func ReadSnapshot(path string) (*MDState, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	corrupt := func(section, reason string) (*MDState, error) {
+		return nil, &CorruptError{Path: path, Section: section, Reason: reason}
+	}
+	if len(b) < len(snapMagic)+4 || string(b[:len(snapMagic)]) != snapMagic {
+		return corrupt("", "bad magic or truncated header")
+	}
+	off := len(snapMagic)
+	nsect := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	sects := make(map[string][]byte, nsect)
+	for i := 0; i < nsect; i++ {
+		if off+2 > len(b) {
+			return corrupt("", "truncated section header")
+		}
+		nameLen := int(binary.LittleEndian.Uint16(b[off:]))
+		off += 2
+		if off+nameLen+12 > len(b) {
+			return corrupt("", "truncated section header")
+		}
+		name := string(b[off : off+nameLen])
+		off += nameLen
+		size := int(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+		crc := binary.LittleEndian.Uint32(b[off:])
+		off += 4
+		if off+size > len(b) {
+			return corrupt(name, "truncated payload")
+		}
+		payload := b[off : off+size]
+		off += size
+		if crcIEEE(payload) != crc {
+			return corrupt(name, "CRC mismatch")
+		}
+		sects[name] = payload
+	}
+	return assembleState(path, sects)
+}
+
+// assembleState rebuilds an MDState from validated sections.
+func assembleState(path string, sects map[string][]byte) (*MDState, error) {
+	need := func(name string, size int) ([]byte, error) {
+		p, ok := sects[name]
+		if !ok {
+			return nil, &CorruptError{Path: path, Section: name, Reason: "missing"}
+		}
+		if size >= 0 && len(p) != size {
+			return nil, &CorruptError{Path: path, Section: name,
+				Reason: fmt.Sprintf("size %d, want %d", len(p), size)}
+		}
+		return p, nil
+	}
+	meta, err := need(SectionMeta, 32)
+	if err != nil {
+		return nil, err
+	}
+	if v := binary.LittleEndian.Uint64(meta); v != stateVersion {
+		return nil, &CorruptError{Path: path, Section: SectionMeta,
+			Reason: fmt.Sprintf("state version %d, want %d", v, stateVersion)}
+	}
+	s := &MDState{
+		Step:       int64(binary.LittleEndian.Uint64(meta[8:])),
+		ParamsHash: binary.LittleEndian.Uint64(meta[24:]),
+	}
+	n := int(binary.LittleEndian.Uint64(meta[16:]))
+	en, err := need(SectionEnergies, 24)
+	if err != nil {
+		return nil, err
+	}
+	s.Epot = math.Float64frombits(binary.LittleEndian.Uint64(en))
+	s.ELo = math.Float64frombits(binary.LittleEndian.Uint64(en[8:]))
+	s.EHi = math.Float64frombits(binary.LittleEndian.Uint64(en[16:]))
+	rng, err := need(SectionRNG, 24)
+	if err != nil {
+		return nil, err
+	}
+	for i := range s.RNG {
+		s.RNG[i] = binary.LittleEndian.Uint64(rng[8*i:])
+	}
+	vecs := func(name string) ([]chem.Vec3, error) {
+		p, err := need(name, 24*n)
+		if err != nil {
+			return nil, err
+		}
+		vs := make([]chem.Vec3, n)
+		for i := range vs {
+			for k := 0; k < 3; k++ {
+				vs[i][k] = math.Float64frombits(binary.LittleEndian.Uint64(p[24*i+8*k:]))
+			}
+		}
+		return vs, nil
+	}
+	if s.Pos, err = vecs(SectionPositions); err != nil {
+		return nil, err
+	}
+	if s.Vel, err = vecs(SectionVelocities); err != nil {
+		return nil, err
+	}
+	if s.Frc, err = vecs(SectionForces); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ListSnapshots returns the steps of all ring files in dir, ascending.
+// Validity is not checked; Load does that newest-first.
+func ListSnapshots(dir string) ([]int64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var steps []int64
+	for _, e := range ents {
+		if st := snapshotStep(e.Name()); st >= 0 {
+			steps = append(steps, st)
+		}
+	}
+	sort.Slice(steps, func(i, j int) bool { return steps[i] < steps[j] })
+	return steps, nil
+}
+
+// pruneRing removes the oldest snapshots beyond keep.
+func pruneRing(dir string, keep int) {
+	steps, err := ListSnapshots(dir)
+	if err != nil || keep <= 0 || len(steps) <= keep {
+		return
+	}
+	for _, st := range steps[:len(steps)-keep] {
+		os.Remove(filepath.Join(dir, SnapshotName(st)))
+	}
+}
+
+// corruptSection flips one payload byte of the named section in a
+// snapshot file — the corrupt-section mode of the fault plan. The CRC
+// is left as written, so ReadSnapshot must reject the file.
+func corruptSection(path, section string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	b, err := io.ReadAll(f)
+	if err != nil {
+		return err
+	}
+	off := len(snapMagic) + 4
+	for off < len(b) {
+		nameLen := int(binary.LittleEndian.Uint16(b[off:]))
+		name := string(b[off+2 : off+2+nameLen])
+		size := int(binary.LittleEndian.Uint64(b[off+2+nameLen:]))
+		payloadOff := off + 2 + nameLen + 12
+		if name == section {
+			if size == 0 {
+				return fmt.Errorf("ckpt: section %q empty, cannot corrupt", section)
+			}
+			if _, err := f.WriteAt([]byte{b[payloadOff] ^ 0xff}, int64(payloadOff)); err != nil {
+				return err
+			}
+			return f.Sync()
+		}
+		off = payloadOff + size
+	}
+	return fmt.Errorf("ckpt: section %q not found in %s", section, path)
+}

@@ -23,11 +23,14 @@ func benchDistBuild(b *testing.B, ranks int, sched mprt.Schedule) {
 		b.Fatal(err)
 	}
 	defer d.Close()
-	_, _, rep := d.BuildJK(p) // warm-up
+	_, _, rep, err := d.BuildJK(p) // warm-up
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, _, rep = d.BuildJK(p)
+		_, _, rep, _ = d.BuildJK(p)
 	}
 	b.ReportMetric(float64(rep.CommBytes), "commbytes/op")
 	b.ReportMetric(float64(rep.MeasuredSteps), "steps/op")

@@ -1,6 +1,7 @@
 package hfx
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -37,6 +38,18 @@ type DistOptions struct {
 	// ERI cache is disabled (it is a per-builder structure keyed to the
 	// global assignment).
 	Opts Options
+	// FaultPlan optionally kills one rank during one build's compute
+	// phase, exercising the restart path (nil injects nothing).
+	FaultPlan *RankFaultPlan
+}
+
+// RankFaultPlan injects a rank death into a DistBuilder: on the Build-th
+// BuildJK call (1-based; 0 disables) rank Rank dies before computing its
+// task block. The builder re-executes the dead rank's block and re-forms
+// the collective; results stay bitwise pinned to the fault-free build.
+type RankFaultPlan struct {
+	Rank  int
+	Build int
 }
 
 // DistReport describes one distributed Fock build.
@@ -74,6 +87,10 @@ type DistReport struct {
 	NTasks           int
 	QuartetsComputed int64
 	QuartetsScreened int64
+
+	// RankRestarts counts ranks that died (fault injection) during this
+	// build's compute phase and had their task block re-executed.
+	RankRestarts int
 
 	// Metrics is the mprt world's registry: lifetime traffic counters and
 	// per-collective call/step counts.
@@ -116,6 +133,7 @@ type DistBuilder struct {
 	jOut   *linalg.Matrix
 	kOut   *linalg.Matrix
 
+	builds    int64 // BuildJK calls so far (fault-plan trigger)
 	closeOnce sync.Once
 }
 
@@ -210,10 +228,21 @@ func (d *DistBuilder) Assignment() *sched.Assignment { return d.asn }
 
 // BuildJK computes J and K for density P across the ranks. The returned
 // matrices are owned by the builder and valid until the next BuildJK.
-func (d *DistBuilder) BuildJK(p *linalg.Matrix) (j, k *linalg.Matrix, rep DistReport) {
+//
+// The build runs in two phases, each a full world.Run: first every rank
+// executes its task block into its fused staging buffer (no
+// communication), then every rank enters the ReduceScatter + Allgatherv
+// collective. The split is what makes rank death recoverable — a rank
+// that dies in the compute phase (DistOptions.FaultPlan) strands nobody,
+// its block is re-executed on the same pool, and the collective is then
+// re-formed with every rank alive. The static schedule makes the
+// re-executed block's partials bitwise identical to the originals, so a
+// recovered build equals a fault-free one bit for bit.
+func (d *DistBuilder) BuildJK(p *linalg.Matrix) (j, k *linalg.Matrix, rep DistReport, err error) {
 	R := d.dopts.Ranks
 	nn := d.Eng.Basis.NBasis * d.Eng.Basis.NBasis
 	start := time.Now()
+	d.builds++
 
 	reg := d.world.Registry()
 	steps0 := reg.Counter("mprt.reducescatter.steps").Value() +
@@ -233,8 +262,7 @@ func (d *DistBuilder) BuildJK(p *linalg.Matrix) (j, k *linalg.Matrix, rep DistRe
 		Metrics:        reg,
 	}
 
-	d.world.Run(func(c *mprt.Comm) error {
-		r := c.Rank()
+	compute := func(r int) {
 		pl := d.pools[r]
 		t0 := time.Now()
 		pl.runBuild(p)
@@ -242,10 +270,38 @@ func (d *DistBuilder) BuildJK(p *linalg.Matrix) (j, k *linalg.Matrix, rep DistRe
 		copy(fused[:nn], pl.jBufs[0].Data)
 		copy(fused[nn:], pl.kBufs[0].Data)
 		rep.RankCompute[r] = time.Since(t0)
+	}
 
+	// Phase 1: compute. A fault-plan kill fires here, before the rank
+	// touches its buffers.
+	plan := d.dopts.FaultPlan
+	runErr := d.world.Run(func(c *mprt.Comm) error {
+		r := c.Rank()
+		if plan != nil && int64(plan.Build) == d.builds && plan.Rank == r {
+			return fmt.Errorf("hfx: rank %d died in compute phase of build %d: %w",
+				r, d.builds, mprt.ErrRankKilled)
+		}
+		compute(r)
+		return nil
+	})
+	if runErr != nil {
+		if !errors.Is(runErr, mprt.ErrRankKilled) {
+			return nil, nil, rep, runErr
+		}
+		// Restart: re-execute the dead rank's task block. The pool is
+		// intact (the rank died before dispatching work) and the static
+		// schedule re-produces the identical partials.
+		compute(plan.Rank)
+		rep.RankRestarts++
+		reg.Counter("mprt.rank_restarts").Add(1)
+	}
+
+	// Phase 2: the collective, re-formed with every rank alive.
+	runErr = d.world.Run(func(c *mprt.Comm) error {
+		r := c.Rank()
 		b0, s0, h0 := c.BytesSent(), c.Sends(), c.HopsSent()
-		t0 = time.Now()
-		seg := c.ReduceScatter(fused, d.counts)
+		t0 := time.Now()
+		seg := c.ReduceScatter(d.fused[r], d.counts)
 		full := c.Allgatherv(seg, d.counts)
 		rep.RankComm[r] = time.Since(t0)
 		rep.RankBytes[r] = c.BytesSent() - b0
@@ -258,6 +314,9 @@ func (d *DistBuilder) BuildJK(p *linalg.Matrix) (j, k *linalg.Matrix, rep DistRe
 		}
 		return nil
 	})
+	if runErr != nil {
+		return nil, nil, rep, runErr
+	}
 
 	for r := 0; r < R; r++ {
 		rep.CommBytes += rep.RankBytes[r]
@@ -285,7 +344,7 @@ func (d *DistBuilder) BuildJK(p *linalg.Matrix) (j, k *linalg.Matrix, rep DistRe
 	}
 	rep.Wall = time.Since(start)
 	runtime.KeepAlive(d)
-	return d.jOut, d.kOut, rep
+	return d.jOut, d.kOut, rep, nil
 }
 
 // DistributedBuild is the one-shot form: build a DistBuilder, run a
@@ -298,6 +357,5 @@ func DistributedBuild(eng *integrals.Engine, scr *screen.Result, dopts DistOptio
 		return nil, nil, DistReport{}, err
 	}
 	defer d.Close()
-	j, k, rep = d.BuildJK(p)
-	return j, k, rep, nil
+	return d.BuildJK(p)
 }

@@ -79,10 +79,16 @@ func TestDistBuilderReuse(t *testing.T) {
 	}
 	defer d.Close()
 
-	j1, k1, rep1 := d.BuildJK(p)
+	j1, k1, rep1, err := d.BuildJK(p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	jc := append([]float64(nil), j1.Data...)
 	kc := append([]float64(nil), k1.Data...)
-	j2, k2, rep2 := d.BuildJK(p)
+	j2, k2, rep2, err := d.BuildJK(p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range jc {
 		if j2.Data[i] != jc[i] || k2.Data[i] != kc[i] {
 			t.Fatalf("rebuild diverged at element %d", i)
@@ -118,5 +124,69 @@ func TestDistBuilderRejectsInvalid(t *testing.T) {
 	}
 	if _, err := NewDistBuilder(eng, scr, DistOptions{Ranks: 0}); err == nil {
 		t.Fatal("expected error for 0 ranks")
+	}
+}
+
+// TestDistBuilderRankFaultRecovery pins the rank-restart contract: a
+// rank killed during the compute phase has its task block re-executed
+// and the collective re-formed, and the recovered build is bitwise
+// identical — every bit of J and K — to the fault-free one. Each rank
+// of the world is killed in turn, across both collective schedules.
+func TestDistBuilderRankFaultRecovery(t *testing.T) {
+	eng, scr := setup(t, chem.Water(), 1e-12)
+	p := testDensity(eng.Basis.NBasis, 11)
+	const ranks = 4
+	for _, sched := range []mprt.Schedule{mprt.Binomial, mprt.DimExchange} {
+		ref, err := NewDistBuilder(eng, scr, DistOptions{
+			Ranks: ranks, Schedule: sched, Opts: DefaultOptions(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jRef, kRef, repRef, err := ref.BuildJK(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if repRef.RankRestarts != 0 {
+			t.Fatalf("fault-free build reports %d restarts", repRef.RankRestarts)
+		}
+		jc := append([]float64(nil), jRef.Data...)
+		kc := append([]float64(nil), kRef.Data...)
+		ref.Close()
+
+		for victim := 0; victim < ranks; victim++ {
+			d, err := NewDistBuilder(eng, scr, DistOptions{
+				Ranks: ranks, Schedule: sched, Opts: DefaultOptions(),
+				FaultPlan: &RankFaultPlan{Rank: victim, Build: 2},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Build 1 is clean; the fault plan fires on build 2.
+			if _, _, rep, err := d.BuildJK(p); err != nil || rep.RankRestarts != 0 {
+				t.Fatalf("build 1 should be clean: restarts=%d err=%v", rep.RankRestarts, err)
+			}
+			j, k, rep, err := d.BuildJK(p)
+			if err != nil {
+				t.Fatalf("%v victim %d: recovered build failed: %v", sched, victim, err)
+			}
+			if rep.RankRestarts != 1 {
+				t.Fatalf("%v victim %d: want 1 restart, got %d", sched, victim, rep.RankRestarts)
+			}
+			for i := range jc {
+				if j.Data[i] != jc[i] || k.Data[i] != kc[i] {
+					t.Fatalf("%v victim %d: recovered build diverged at element %d",
+						sched, victim, i)
+				}
+			}
+			if rep.MeasuredSteps != repRef.MeasuredSteps {
+				t.Fatalf("%v victim %d: re-formed collective ran %d steps, fault-free %d",
+					sched, victim, rep.MeasuredSteps, repRef.MeasuredSteps)
+			}
+			if got := rep.Metrics.Counter("mprt.rank_restarts").Value(); got != 1 {
+				t.Fatalf("mprt.rank_restarts counter = %d, want 1", got)
+			}
+			d.Close()
+		}
 	}
 }

@@ -13,12 +13,14 @@ package md
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"hfxmd/internal/chem"
+	"hfxmd/internal/ckpt"
 	"hfxmd/internal/phys"
 	"hfxmd/internal/scf"
 )
@@ -123,7 +125,32 @@ type Options struct {
 	FDStep float64
 	// Seed makes velocity initialisation reproducible.
 	Seed int64
+	// Ckpt, if non-nil, makes every completed step durable: one journal
+	// record per step plus a periodic snapshot ring (see package ckpt).
+	Ckpt *ckpt.Writer
+	// Resume, if non-nil, continues a trajectory from a restored state
+	// (ckpt.Load) instead of initialising velocities. Positions,
+	// velocities, forces, energy extrema and the RNG are restored
+	// bit-for-bit, so the resumed run is bitwise identical to the
+	// uninterrupted one from the restore point on. The remaining Options
+	// must match the original run; a mismatch is rejected via the
+	// state's parameter fingerprint.
+	Resume *ckpt.MDState
 }
+
+// StepError reports a failure — an SCF that stopped converging, a
+// checkpoint write error, an injected fault — at a specific MD step,
+// so a driver can resume from the last durable state and retry instead
+// of discarding the trajectory.
+type StepError struct {
+	Step int
+	Err  error
+}
+
+func (e *StepError) Error() string { return fmt.Sprintf("md: step %d: %v", e.Step, e.Err) }
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *StepError) Unwrap() error { return e.Err }
 
 // Frame is one trajectory snapshot.
 type Frame struct {
@@ -140,27 +167,64 @@ type Frame struct {
 type Trajectory struct {
 	Frames []Frame
 	Mol    *chem.Molecule // final geometry
+	// Final is the complete restartable state after the last completed
+	// step — what a checkpoint of that step would contain, and what the
+	// aimd -json summary fingerprints.
+	Final *ckpt.MDState
+	// eLo/eHi accumulate the conserved-energy extrema over every frame,
+	// including (on a resumed run) the frames recorded before the
+	// restart; seen marks whether any frame contributed.
+	eLo, eHi float64
+	seen     bool
 }
 
 // EnergyDrift returns the peak-to-peak variation of the conserved total
-// energy per atom, the standard integrator-quality diagnostic.
+// energy per atom, the standard integrator-quality diagnostic. The
+// extrema are accumulated as frames are recorded and restored across a
+// checkpoint/resume boundary, so a resumed run reports exactly the
+// drift of the uninterrupted one.
 func (t *Trajectory) EnergyDrift() float64 {
-	if len(t.Frames) == 0 {
+	if !t.seen {
 		return 0
 	}
-	lo, hi := math.Inf(1), math.Inf(-1)
-	for _, f := range t.Frames {
-		if f.Total < lo {
-			lo = f.Total
-		}
-		if f.Total > hi {
-			hi = f.Total
-		}
-	}
-	return (hi - lo) / float64(len(t.Mol.Atoms))
+	return (t.eHi - t.eLo) / float64(len(t.Mol.Atoms))
 }
 
-// Run integrates a BOMD trajectory with velocity Verlet.
+// paramsHash fingerprints the run configuration and system identity:
+// everything that must match for a checkpoint to be resumable by this
+// run. Positions are deliberately excluded — they evolve.
+func paramsHash(m *chem.Molecule, opts *Options) uint64 {
+	h := fnv.New64a()
+	w := func(v uint64) {
+		var b [8]byte
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	w(math.Float64bits(opts.Dt))
+	w(math.Float64bits(opts.TemperatureK))
+	if opts.Thermostat {
+		w(1)
+	} else {
+		w(0)
+	}
+	w(math.Float64bits(opts.TauFS))
+	w(math.Float64bits(opts.FDStep))
+	w(uint64(opts.Seed))
+	// Steps is excluded: resuming with a longer horizon (trajectory
+	// extension) is legitimate and changes no per-step arithmetic.
+	w(uint64(int64(m.Charge)))
+	w(uint64(m.NAtoms()))
+	for _, a := range m.Atoms {
+		w(uint64(a.El))
+	}
+	return h.Sum64()
+}
+
+// Run integrates a BOMD trajectory with velocity Verlet, optionally
+// checkpointing every step (Options.Ckpt) and optionally continuing a
+// restored one (Options.Resume).
 func Run(mol *chem.Molecule, pot PotentialFunc, opts Options) (*Trajectory, error) {
 	if opts.Steps <= 0 {
 		return nil, fmt.Errorf("md: Steps must be positive")
@@ -179,37 +243,100 @@ func Run(mol *chem.Molecule, pot PotentialFunc, opts Options) (*Trajectory, erro
 	for i, a := range m.Atoms {
 		masses[i] = a.El.Mass() * phys.AMUToElectronMass
 	}
-	vel := initVelocities(m, masses, opts.TemperatureK, opts.Seed)
+	ph := paramsHash(m, &opts)
 
-	frc, err := Forces(m, pot, opts.FDStep)
-	if err != nil {
-		return nil, err
+	traj := &Trajectory{Mol: m, eLo: math.Inf(1), eHi: math.Inf(-1)}
+	var (
+		vel, frc []chem.Vec3
+		epot     float64
+		rng      = newRNG(opts.Seed)
+	)
+	// stateAt captures the complete post-step state — the unit of both
+	// checkpointing and the Final fingerprint.
+	stateAt := func(step int) *ckpt.MDState {
+		st := &ckpt.MDState{
+			Step: int64(step),
+			Pos:  make([]chem.Vec3, n),
+			Vel:  append([]chem.Vec3(nil), vel...),
+			Frc:  append([]chem.Vec3(nil), frc...),
+			Epot: epot,
+			ELo:  traj.eLo, EHi: traj.eHi,
+			RNG:        rng.state(),
+			ParamsHash: ph,
+		}
+		for i := range st.Pos {
+			st.Pos[i] = m.Atoms[i].Pos
+		}
+		return st
 	}
-	epot, err := pot(m)
-	if err != nil {
-		return nil, err
-	}
-
-	traj := &Trajectory{Mol: m}
 	record := func(step int) {
 		ekin := kinetic(vel, masses)
 		pos := make([]chem.Vec3, n)
 		for i := range pos {
 			pos[i] = m.Atoms[i].Pos
 		}
+		total := epot + ekin
+		if total < traj.eLo {
+			traj.eLo = total
+		}
+		if total > traj.eHi {
+			traj.eHi = total
+		}
+		traj.seen = true
 		traj.Frames = append(traj.Frames, Frame{
 			Step:      step,
 			TimeFS:    float64(step) * opts.Dt,
 			Potential: epot,
 			Kinetic:   ekin,
-			Total:     epot + ekin,
+			Total:     total,
 			TempK:     temperature(ekin, n),
 			Positions: pos,
 		})
+		traj.Final = stateAt(step)
 	}
-	record(0)
 
-	for step := 1; step <= opts.Steps; step++ {
+	startStep := 1
+	if st := opts.Resume; st != nil {
+		if len(st.Pos) != n {
+			return nil, fmt.Errorf("md: resume state holds %d atoms, molecule has %d", len(st.Pos), n)
+		}
+		if st.ParamsHash != ph {
+			return nil, fmt.Errorf("md: resume state was written by a different run configuration (params fingerprint %016x, want %016x)", st.ParamsHash, ph)
+		}
+		if int(st.Step) > opts.Steps {
+			return nil, fmt.Errorf("md: resume state is at step %d, beyond Steps=%d", st.Step, opts.Steps)
+		}
+		for i := range m.Atoms {
+			m.Atoms[i].Pos = st.Pos[i]
+		}
+		vel = append([]chem.Vec3(nil), st.Vel...)
+		frc = append([]chem.Vec3(nil), st.Frc...)
+		epot = st.Epot
+		rng.setState(st.RNG)
+		traj.eLo, traj.eHi = st.ELo, st.EHi
+		traj.seen = true
+		record(int(st.Step)) // resume-point frame, bitwise equal to the original's
+		startStep = int(st.Step) + 1
+	} else {
+		vel = initVelocities(m, masses, opts.TemperatureK, rng)
+		var err error
+		frc, err = Forces(m, pot, opts.FDStep)
+		if err != nil {
+			return nil, &StepError{Step: 0, Err: err}
+		}
+		epot, err = pot(m)
+		if err != nil {
+			return nil, &StepError{Step: 0, Err: err}
+		}
+		record(0)
+		if opts.Ckpt != nil {
+			if err := opts.Ckpt.OnStep(traj.Final); err != nil {
+				return traj, &StepError{Step: 0, Err: err}
+			}
+		}
+	}
+
+	for step := startStep; step <= opts.Steps; step++ {
 		// Velocity Verlet: half kick, drift, force, half kick.
 		for i := 0; i < n; i++ {
 			for k := 0; k < 3; k++ {
@@ -217,13 +344,14 @@ func Run(mol *chem.Molecule, pot PotentialFunc, opts Options) (*Trajectory, erro
 				m.Atoms[i].Pos[k] += dt * vel[i][k]
 			}
 		}
+		var err error
 		frc, err = Forces(m, pot, opts.FDStep)
 		if err != nil {
-			return traj, err
+			return traj, &StepError{Step: step, Err: err}
 		}
 		epot, err = pot(m)
 		if err != nil {
-			return traj, err
+			return traj, &StepError{Step: step, Err: err}
 		}
 		for i := 0; i < n; i++ {
 			for k := 0; k < 3; k++ {
@@ -234,6 +362,11 @@ func Run(mol *chem.Molecule, pot PotentialFunc, opts Options) (*Trajectory, erro
 			berendsen(vel, masses, opts.TemperatureK, opts.Dt, opts.TauFS, n)
 		}
 		record(step)
+		if opts.Ckpt != nil {
+			if err := opts.Ckpt.OnStep(traj.Final); err != nil {
+				return traj, &StepError{Step: step, Err: err}
+			}
+		}
 	}
 	return traj, nil
 }
@@ -270,14 +403,14 @@ func berendsen(vel []chem.Vec3, masses []float64, t0, dtFS, tauFS float64, n int
 }
 
 // initVelocities draws Maxwell–Boltzmann velocities, removes the centre-
-// of-mass drift, and rescales to the target temperature exactly.
-func initVelocities(m *chem.Molecule, masses []float64, tempK float64, seed int64) []chem.Vec3 {
+// of-mass drift, and rescales to the target temperature exactly. The
+// caller owns the RNG so its post-init state can be checkpointed.
+func initVelocities(m *chem.Molecule, masses []float64, tempK float64, rng *rng) []chem.Vec3 {
 	n := m.NAtoms()
 	vel := make([]chem.Vec3, n)
 	if tempK <= 0 {
 		return vel
 	}
-	rng := newRNG(seed)
 	for i := range vel {
 		sigma := math.Sqrt(phys.BoltzmannHartreePerK * tempK / masses[i])
 		for k := 0; k < 3; k++ {

@@ -2,13 +2,9 @@ package md
 
 import (
 	"fmt"
-	"math/rand"
 
 	"hfxmd/internal/chem"
 )
-
-// newRNG isolates the math/rand dependency for velocity initialisation.
-func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 // ScanPoint is one point on a reaction-coordinate profile.
 type ScanPoint struct {

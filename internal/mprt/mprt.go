@@ -29,6 +29,7 @@
 package mprt
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"sync"
@@ -36,6 +37,15 @@ import (
 	"hfxmd/internal/torus"
 	"hfxmd/internal/trace"
 )
+
+// ErrRankKilled marks a rank function that terminated by fault injection
+// rather than by finishing its work: the in-process analogue of a node
+// dying mid-job. Drivers match it with errors.Is, re-execute the dead
+// rank's work, and re-form the collective (see hfx.DistBuilder.BuildJK).
+// A rank must only die *between* collectives — a rank that vanishes
+// mid-collective would strand its partners on channel receives, exactly
+// as a real torus partition wedges when a node stops acknowledging.
+var ErrRankKilled = errors.New("mprt: rank killed by fault injection")
 
 // Schedule selects the collective communication schedule.
 type Schedule int

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"time"
+
+	"hfxmd/internal/ckpt"
+	"hfxmd/internal/md"
+)
+
+// MDSummary is the shared JSON encoding of a BOMD trajectory — the
+// md-layer counterpart of SCFSummary, emitted by cmd/aimd -json. The
+// FinalStateSha256 fingerprint hashes the canonical encoding of the
+// complete restartable state (positions, velocities, forces, energies,
+// RNG), so two runs agree on it iff they are bitwise identical — it is
+// what the crash-restart smoke test diffs against an uninterrupted
+// reference.
+type MDSummary struct {
+	Steps              int     `json:"steps"`
+	TimeFS             float64 `json:"timeFs"`
+	NAtoms             int     `json:"natoms"`
+	EnergyDriftPerAtom float64 `json:"energyDriftPerAtom"`
+	FinalPotential     float64 `json:"finalPotential"`
+	FinalTotal         float64 `json:"finalTotal"`
+	FinalTempK         float64 `json:"finalTempK"`
+	WallMS             float64 `json:"wallMs"`
+	WallPerStepMS      float64 `json:"wallPerStepMs"`
+
+	// ResumedFromStep is the restore point of a resumed run (absent for
+	// a fresh one); ReplayedSteps counts journal records ahead of the
+	// snapshot the restore absorbed.
+	ResumedFromStep *int64 `json:"resumedFromStep,omitempty"`
+	ReplayedSteps   int64  `json:"replayedSteps,omitempty"`
+
+	// Checkpoint traffic of this run (absent without -ckpt-dir).
+	CkptSnapshots      int64 `json:"ckptSnapshots,omitempty"`
+	CkptSnapshotBytes  int64 `json:"ckptSnapshotBytes,omitempty"`
+	CkptJournalAppends int64 `json:"ckptJournalAppends,omitempty"`
+	CkptJournalBytes   int64 `json:"ckptJournalBytes,omitempty"`
+
+	FinalStateSha256 string `json:"finalStateSha256,omitempty"`
+}
+
+// SummarizeMD builds the shared wire encoding from a trajectory. wall is
+// this process's integration wall time; per-step wall divides by the
+// steps actually integrated here (a resumed run's frames start at the
+// restore point).
+func SummarizeMD(traj *md.Trajectory, wall time.Duration) *MDSummary {
+	sum := &MDSummary{
+		NAtoms:             len(traj.Mol.Atoms),
+		EnergyDriftPerAtom: traj.EnergyDrift(),
+		WallMS:             float64(wall) / float64(time.Millisecond),
+	}
+	if n := len(traj.Frames); n > 0 {
+		last := traj.Frames[n-1]
+		sum.Steps = last.Step
+		sum.TimeFS = last.TimeFS
+		sum.FinalPotential = last.Potential
+		sum.FinalTotal = last.Total
+		sum.FinalTempK = last.TempK
+		if n > 1 {
+			sum.WallPerStepMS = sum.WallMS / float64(n-1)
+		}
+	}
+	if traj.Final != nil {
+		h := sha256.Sum256(ckpt.EncodeState(traj.Final))
+		sum.FinalStateSha256 = hex.EncodeToString(h[:])
+	}
+	return sum
+}

@@ -48,6 +48,13 @@ type Config struct {
 	// execution with the job kind — an observability seam also used by
 	// the lifecycle tests to hold workers at a known point.
 	BeforeRun func(kind string)
+	// JournalPath, if non-empty, makes job admission crash-safe: every
+	// accepted job is recorded in a framed write-ahead journal before it
+	// runs and struck out when it finishes. On boot, submits without a
+	// matching finish — jobs that were queued or running when the
+	// previous process died — are re-enqueued and run to completion,
+	// filling the result cache as if the crash had not happened.
+	JournalPath string
 }
 
 func (c *Config) fillDefaults() {
@@ -85,6 +92,8 @@ type Server struct {
 	q     *queue
 	mux   *http.ServeMux
 
+	journal *jobJournal // nil unless Config.JournalPath is set
+
 	start    time.Time
 	nextID   atomic.Int64
 	nextSeq  atomic.Int64
@@ -97,8 +106,10 @@ type Server struct {
 var latencyEdgesMS = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
 
 // New starts a server: the worker pool runs immediately; attach
-// Handler() to an http.Server to accept jobs.
-func New(cfg Config) *Server {
+// Handler() to an http.Server to accept jobs. With Config.JournalPath
+// set, jobs left queued or running by a previous process are re-enqueued
+// before the workers start; the only error paths are journal I/O.
+func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
 	s := &Server{
 		cfg:   cfg,
@@ -117,17 +128,86 @@ func New(cfg Config) *Server {
 		"jobs.submitted", "jobs.executed", "jobs.done", "jobs.failed",
 		"jobs.cancelled", "jobs.rejected_full", "jobs.rejected_draining",
 		"cache.hits", "cache.misses", "builders.created", "builders.reused",
+		"journal.appends", "journal.bytes", "journal.replayed",
+		"journal.compactions", "journal.append_errors", "journal.replay_dropped",
 	} {
 		s.reg.Counter(c)
 	}
 	for _, g := range []string{"jobs.queued", "jobs.running", "builders.open", "cache.entries"} {
 		s.reg.Gauge(g)
 	}
+	if cfg.JournalPath != "" {
+		jl, err := openJobJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, fmt.Errorf("server: open job journal: %w", err)
+		}
+		s.journal = jl
+		s.replayJournal()
+		if err := jl.compact(); err != nil {
+			return nil, fmt.Errorf("server: compact job journal: %w", err)
+		}
+		s.reg.Counter("journal.compactions").Add(1)
+	}
 	s.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+// replayJournal re-enqueues every outstanding journaled job before the
+// workers start. Requests that no longer validate, and jobs beyond the
+// queue capacity, are struck out instead of replayed. No handler waits
+// on a replayed job: it runs, lands in the result cache, and its finish
+// record strikes it from the journal like any live job.
+func (s *Server) replayJournal() {
+	for _, rec := range s.journal.snapshotOutstanding() {
+		// Keep the original ID and advance the allocator past it so live
+		// submissions never collide with replayed ones.
+		var seq int64
+		if _, err := fmt.Sscanf(rec.ID, "job-%d", &seq); err == nil {
+			for cur := s.nextID.Load(); cur < seq; cur = s.nextID.Load() {
+				if s.nextID.CompareAndSwap(cur, seq) {
+					break
+				}
+			}
+		}
+		req := *rec.Req
+		req.normalize()
+		drop := func(why error) {
+			s.reg.Counter("journal.replay_dropped").Add(1)
+			s.journal.finish(rec.ID)
+			_ = why
+		}
+		if err := req.validate(); err != nil {
+			drop(err)
+			continue
+		}
+		sopts := screen.DefaultOptions()
+		sopts.Threshold = req.Screen
+		prep, predicted, err := prepare(&req, s.cfg.BuilderThreads, sopts)
+		if err != nil {
+			drop(err)
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DefaultTimeout)
+		j := &job{
+			id: rec.ID, req: req, key: req.cacheKey(prep.mol),
+			prep: prep, predicted: predicted,
+			rank: predicted,
+			seq:  s.nextSeq.Add(1),
+			enq:  time.Now(), ctx: ctx, cancel: cancel,
+			done: make(chan struct{}),
+		}
+		s.reg.Gauge("jobs.queued").Add(1)
+		if err := s.q.push(j); err != nil {
+			s.reg.Gauge("jobs.queued").Add(-1)
+			cancel()
+			drop(err)
+			continue
+		}
+		s.reg.Counter("journal.replayed").Add(1)
+	}
 }
 
 // Handler returns the HTTP interface of the server.
@@ -154,6 +234,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	go func() { s.workerWG.Wait(); close(done) }()
 	select {
 	case <-done:
+		if s.journal != nil {
+			return s.journal.close()
+		}
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -289,6 +372,18 @@ func (s *Server) finish(j *job, res *JobResult) {
 	case StateCancelled:
 		s.reg.Counter("jobs.cancelled").Add(1)
 	}
+	if s.journal != nil {
+		n, compacted, err := s.journal.finish(j.id)
+		if err != nil {
+			s.reg.Counter("journal.append_errors").Add(1)
+		} else {
+			s.reg.Counter("journal.appends").Add(1)
+			s.reg.Counter("journal.bytes").Add(int64(n))
+			if compacted {
+				s.reg.Counter("journal.compactions").Add(1)
+			}
+		}
+	}
 	j.result = res
 	close(j.done)
 	j.cancel()
@@ -373,7 +468,10 @@ func (s *Server) runDistBuildJK(st *workerState, j *job) *JobResult {
 		return &JobResult{State: StateFailed, Error: err.Error()}
 	}
 	p := scf.SADDensity(j.prep.set)
-	jm, km, rep := d.BuildJK(p)
+	jm, km, rep, err := d.BuildJK(p)
+	if err != nil {
+		return &JobResult{State: StateFailed, Error: err.Error()}
+	}
 	s.mergeDistReport(rep)
 	return &JobResult{State: StateDone, Build: &BuildSummary{
 		NBasis:           j.prep.set.NBasis,
@@ -577,6 +675,17 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			strconv.Itoa(retryAfterSeconds(s.q.queuedCost()+predicted, s.cfg.Workers)))
 		httpError(w, http.StatusTooManyRequests, "admission queue full")
 		return
+	}
+	if s.journal != nil {
+		// Record the accepted job. Replay pairs submits with finishes as
+		// sets, so the worker racing this append to the finish record is
+		// harmless — both land before any future boot reads them.
+		if n, err := s.journal.submit(j.id, &req); err != nil {
+			s.reg.Counter("journal.append_errors").Add(1)
+		} else {
+			s.reg.Counter("journal.appends").Add(1)
+			s.reg.Counter("journal.bytes").Add(int64(n))
+		}
 	}
 
 	// The worker closes j.done in every path, including cancellation —

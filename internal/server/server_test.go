@@ -14,6 +14,17 @@ import (
 	"time"
 )
 
+// mustNew starts a server or fails the test; the journal-less configs
+// used here can only fail on journal I/O.
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 // ---------------------------------------------------------------------------
 // Queue unit tests.
 
@@ -192,7 +203,7 @@ func submit(t *testing.T, ts *httptest.Server, req JobRequest) *JobResult {
 func counter(s *Server, name string) int64 { return s.Metrics().Counter(name).Value() }
 
 func TestServerSCFJobAndCacheHit(t *testing.T) {
-	s := New(Config{Workers: 2})
+	s := mustNew(t, Config{Workers: 2})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer s.Shutdown(context.Background())
@@ -236,7 +247,7 @@ func TestServerSCFJobAndCacheHit(t *testing.T) {
 }
 
 func TestServerScreenAndBuildJKWithBuilderReuse(t *testing.T) {
-	s := New(Config{Workers: 1, CacheCap: -1})
+	s := mustNew(t, Config{Workers: 1, CacheCap: -1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer s.Shutdown(context.Background())
@@ -271,7 +282,7 @@ func TestServerScreenAndBuildJKWithBuilderReuse(t *testing.T) {
 }
 
 func TestServerSemiDirectBuildJK(t *testing.T) {
-	s := New(Config{Workers: 1, CacheCap: -1})
+	s := mustNew(t, Config{Workers: 1, CacheCap: -1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer s.Shutdown(context.Background())
@@ -309,7 +320,7 @@ func TestServerDistributedBuildJK(t *testing.T) {
 	// BuilderThreads 4 makes the single-rank builder's global worker count
 	// equal to the distributed build's 4 ranks × 1 thread — the
 	// configuration the bitwise contract pins.
-	s := New(Config{Workers: 1, CacheCap: -1, BuilderThreads: 4})
+	s := mustNew(t, Config{Workers: 1, CacheCap: -1, BuilderThreads: 4})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer s.Shutdown(context.Background())
@@ -373,7 +384,7 @@ func TestServerDistributedBuildJK(t *testing.T) {
 }
 
 func TestServerJobDeadline(t *testing.T) {
-	s := New(Config{Workers: 1, CacheCap: -1})
+	s := mustNew(t, Config{Workers: 1, CacheCap: -1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer s.Shutdown(context.Background())
@@ -388,7 +399,7 @@ func TestServerJobDeadline(t *testing.T) {
 }
 
 func TestServerValidationAndMethods(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer s.Shutdown(context.Background())
@@ -451,7 +462,7 @@ func TestServerLifecycle(t *testing.T) {
 
 	block := make(chan struct{})
 	running := make(chan string, 16)
-	s := New(Config{
+	s := mustNew(t, Config{
 		Workers:  1,
 		QueueCap: 1,
 		CacheCap: -1,
@@ -562,7 +573,7 @@ func TestServerLifecycle(t *testing.T) {
 // through a 4-worker server — the race-cleanliness criterion (run under
 // -race by scripts/check.sh).
 func TestServerConcurrentJobs(t *testing.T) {
-	s := New(Config{Workers: 4, CacheCap: -1})
+	s := mustNew(t, Config{Workers: 4, CacheCap: -1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer s.Shutdown(context.Background())
@@ -602,7 +613,7 @@ func TestServerConcurrentJobs(t *testing.T) {
 }
 
 func TestServerResultJSONRoundTrip(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer s.Shutdown(context.Background())

@@ -1,0 +1,39 @@
+#!/bin/sh
+# Benchmark the checkpoint layer and emit BENCH_ckpt.json: ns/op and
+# allocs/op for the canonical state encoding, one durable (fsynced) ring
+# snapshot, one durable journal append (the per-MD-step overhead when
+# checkpointing is on), the same append without fsync (format cost
+# alone), and a worst-case resume replaying a 100-record journal. This
+# file is the committed checkpoint-overhead baseline.
+#
+# Usage: scripts/bench_ckpt.sh [output.json]
+# BENCHTIME overrides -benchtime (default 50x).
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_ckpt.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test ./internal/ckpt/ -run '^$' \
+	-bench 'Benchmark(EncodeState|SnapshotWrite|JournalAppend|JournalAppendNoFsync|ResumeReplay)$' \
+	-benchtime "${BENCHTIME:-50x}" -count 1 | tee "$raw"
+
+awk '
+/^Benchmark/ {
+	name = $1; sub(/-[0-9]+$/, "", name)
+	ns = "null"; al = "null"
+	for (i = 2; i < NF; i++) {
+		if ($(i+1) == "ns/op")     ns = $i
+		if ($(i+1) == "allocs/op") al = $i
+	}
+	n++
+	lines[n] = sprintf("  \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, al)
+}
+END {
+	if (n == 0) { print "bench_ckpt: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+	print "{"
+	for (i = 1; i <= n; i++) printf "%s%s\n", lines[i], (i < n ? "," : "")
+	print "}"
+}' "$raw" > "$out"
+
+echo "wrote $out"

@@ -13,6 +13,10 @@
 # (TestMeasuredStepsMatchModel fails when the measured collective step
 # counters diverge from the bgq machine-model prediction), and a 4-rank
 # hfxscale d1 smoke run (expD1 itself aborts on model divergence).
+# The checkpoint layer gets a race pass over every fault-injected resume
+# path plus a real SIGKILL crash-restart smoke (scripts/smoke_ckpt.sh)
+# that diffs the resumed run's final-state hash against an
+# uninterrupted reference.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -37,6 +41,18 @@ go test -count=1 ./internal/mprt/ -run 'TestMeasuredStepsMatchModel'
 # step counters diverge from the model.
 go run ./cmd/hfxscale -exp d1 -d1-ranks 1,4 -d1-waters 1
 scripts/smoke_hfxd.sh
+# Checkpoint/restart: race pass over the durability layer, the bitwise
+# resume tests (every fault mode: clean crash, torn journal write,
+# corrupt snapshot section), the rank-fault recovery pin, and the hfxd
+# job-journal boot replay.
+go test -race -count=1 ./internal/ckpt/
+go test -race -count=1 ./internal/md/ -run 'TestResume|TestStepError|TestSCFNonConvergence'
+go test -race -count=1 ./internal/hfx/ -run 'TestDistBuilderRankFaultRecovery'
+go test -race -count=1 ./internal/server/ -run 'TestJobJournal|TestServerRestoresJournaledJobsOnBoot|TestServerJournalsLiveJobs'
+# Crash-restart smoke: SIGKILL a checkpointed aimd run, resume it, and
+# require the resumed final state hash to equal the uninterrupted
+# reference — bitwise.
+scripts/smoke_ckpt.sh
 
 # Fock bench regression gate against the committed baseline.
 fresh="$(mktemp)"

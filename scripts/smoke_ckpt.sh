@@ -1,0 +1,55 @@
+#!/bin/sh
+# Crash-restart smoke test for the checkpoint layer, end to end through
+# the real binary: start a checkpointed aimd trajectory, SIGKILL it
+# mid-run (a real kill, not an injected fault), resume from the
+# directory it left behind, and require the resumed run's
+# finalStateSha256 — a hash of the complete final MD state — to equal
+# that of an uninterrupted reference run. Bitwise, or the smoke fails.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/aimd" ./cmd/aimd
+
+STEPS=400
+ARGS="-system h2 -steps $STEPS -dt 0.4 -temp 300 -seed 7"
+
+# Reference: the same trajectory, never interrupted, no checkpointing.
+"$tmp/aimd" $ARGS -json > "$tmp/ref.json"
+
+sha() { sed -n 's/.*"finalStateSha256": "\([0-9a-f]*\)".*/\1/p' "$1"; }
+ref_sha="$(sha "$tmp/ref.json")"
+test -n "$ref_sha"
+
+# Victim: checkpointed run, killed once the first snapshot is durable.
+"$tmp/aimd" $ARGS -ckpt-dir "$tmp/ck" -ckpt-every 10 > "$tmp/victim.log" 2>&1 &
+pid=$!
+i=0
+while [ ! -e "$tmp/ck" ] || [ -z "$(ls "$tmp/ck"/snap-*.ckpt 2>/dev/null)" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 600 ]; then
+		echo "smoke_ckpt: no snapshot appeared before the run ended" >&2
+		exit 1
+	fi
+	if ! kill -0 "$pid" 2>/dev/null; then
+		echo "smoke_ckpt: victim finished before it could be killed" >&2
+		exit 1
+	fi
+	sleep 0.05
+done
+kill -KILL "$pid"
+wait "$pid" 2>/dev/null || true
+
+# Resume: must report a restore point and finish with the reference hash.
+"$tmp/aimd" $ARGS -ckpt-dir "$tmp/ck" -ckpt-every 10 -resume -json > "$tmp/resumed.json"
+res_sha="$(sha "$tmp/resumed.json")"
+from="$(sed -n 's/.*"resumedFromStep": \([0-9]*\).*/\1/p' "$tmp/resumed.json")"
+
+test -n "$from" || { echo "smoke_ckpt: resumed run reports no restore point" >&2; exit 1; }
+if [ "$res_sha" != "$ref_sha" ]; then
+	echo "smoke_ckpt: FAIL: resumed final state $res_sha != reference $ref_sha" >&2
+	exit 1
+fi
+echo "smoke_ckpt: ok — killed at >= step $from, resumed to step $STEPS, final state $ref_sha"
