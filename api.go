@@ -10,6 +10,7 @@ import (
 	"hfxmd/internal/chem"
 	"hfxmd/internal/ckpt"
 	"hfxmd/internal/dft"
+	"hfxmd/internal/fleet"
 	"hfxmd/internal/hfx"
 	"hfxmd/internal/integrals"
 	"hfxmd/internal/linalg"
@@ -477,6 +478,11 @@ func NewJobClient(baseURL string) *JobClient { return server.NewClient(baseURL) 
 // backoff hint.
 type JobServerBusyError = server.BusyError
 
+// JobServerDrainingError is the typed 503 rejection from a draining
+// server: unlike a busy rejection it is not worth retrying against the
+// same instance — fail the job over to another one.
+type JobServerDrainingError = server.DrainingError
+
 // JobServerConfig tunes an embedded hfxd server.
 type JobServerConfig = server.Config
 
@@ -487,6 +493,29 @@ type JobServer = server.Server
 // listener and stop it with Shutdown. The error paths are job-journal
 // I/O (Config.JournalPath); a journal-less config cannot fail.
 func NewJobServer(cfg JobServerConfig) (*JobServer, error) { return server.New(cfg) }
+
+// Fleet is a cluster of hfxd instances behind a routing policy (see
+// internal/fleet: round-robin, least-loaded, cost-weighted,
+// cache-affinity).
+type Fleet = fleet.Cluster
+
+// FleetOptions configures NewFleet.
+type FleetOptions = fleet.Options
+
+// FleetPolicy selects a fleet routing strategy.
+type FleetPolicy = fleet.Policy
+
+// The available fleet routing policies.
+const (
+	FleetRoundRobin    = fleet.RoundRobin
+	FleetLeastLoaded   = fleet.LeastLoaded
+	FleetCostWeighted  = fleet.CostWeighted
+	FleetCacheAffinity = fleet.CacheAffinity
+)
+
+// NewFleet boots a cluster of hfxd instances, each on its own loopback
+// port, behind the configured routing policy.
+func NewFleet(opts FleetOptions) (*Fleet, error) { return fleet.New(opts) }
 
 // PredictMakespan is the exported cost-prediction hook: the modeled
 // wall-clock of executing tasks with the given costs on nWorkers workers

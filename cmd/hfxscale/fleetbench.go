@@ -1,0 +1,235 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"hfxmd"
+	"hfxmd/internal/fleet"
+	"hfxmd/internal/server"
+	"hfxmd/internal/workload"
+)
+
+var (
+	c1Instances int
+	c1Events    int
+	c1Seed      uint64
+	c1Out       string
+	c1Live      bool
+	c1Scale     float64
+)
+
+// c1Mix is the repeated-key job mix of the fleet benchmark: four
+// distinct canonical keys across three job types and two SLO classes,
+// so a couple of dozen events revisit every key several times — the
+// traffic shape cache-affinity routing is built for.
+func c1Mix() []workload.MixEntry {
+	return []workload.MixEntry{
+		{Name: "probe", Class: "interactive", Weight: 3, KeyPool: 2,
+			Request: server.JobRequest{Kind: server.KindScreen, System: "h2"}},
+		{Name: "sweep", Class: "interactive", Weight: 2,
+			Request: server.JobRequest{Kind: server.KindScreen, System: "lih"}},
+		{Name: "fock", Class: "batch", Weight: 1,
+			Request: server.JobRequest{Kind: server.KindBuildJK, System: "he"}},
+	}
+}
+
+// c1Loads are the two arrival shapes of the matrix: a steady Poisson
+// stream and a bursty one (a Gamma(0.35) spike at 5× the rate after a
+// calm lead-in).
+func c1Loads() []workload.Spec {
+	return []workload.Spec{
+		{Name: "steady", Seed: c1Seed, Clients: 4, Mix: c1Mix(),
+			Phases: []workload.PhaseSpec{{Events: c1Events, RateHz: 40}}},
+		{Name: "burst", Seed: c1Seed + 1, Clients: 4, Mix: c1Mix(),
+			Phases: []workload.PhaseSpec{
+				{Events: c1Events / 2, RateHz: 20},
+				{Events: c1Events - c1Events/2, RateHz: 200, GammaShape: 0.35},
+			}},
+	}
+}
+
+func c1Cluster(policy fleet.Policy) *fleet.Cluster {
+	c, err := fleet.New(fleet.Options{
+		Instances: c1Instances,
+		Policy:    policy,
+		Server:    server.Config{Workers: 1, QueueCap: 16},
+		// The live phase plays traces far above real-time rates on
+		// purpose; generous sweeps with short scaled backoffs let the
+		// router wait bursts out instead of surfacing 429s to the bench.
+		MaxSweeps:    50,
+		BackoffScale: 0.01,
+		MaxBackoff:   50 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}
+
+type c1PolicyResult struct {
+	Policy string           `json:"policy"`
+	Serial *workload.Report `json:"serial"`
+	Live   *workload.Report `json:"live,omitempty"`
+}
+
+type c1LoadResult struct {
+	Load     string           `json:"load"`
+	Spec     workload.Spec    `json:"spec"`
+	Policies []c1PolicyResult `json:"policies"`
+}
+
+type c1Gate struct {
+	Load                 string  `json:"load"`
+	WarmHitRoundRobin    float64 `json:"warmHitRoundRobin"`
+	WarmHitCacheAffinity float64 `json:"warmHitCacheAffinity"`
+	Pass                 bool    `json:"pass"`
+}
+
+// expC1 runs the fleet benchmark: every routing policy against every
+// load shape. The serial replay per cell gives the deterministic
+// numbers (per-class counts, per-instance routing, cache hit ratios,
+// digests); with -c1-live each cell is also replayed as a live client
+// population on a fresh fleet for latency/fairness/backpressure. Two
+// invariants are enforced, not just reported: every policy must produce
+// the identical result-signature stream (routing never changes
+// answers), and cache-affinity must beat round-robin on warm-hit ratio
+// under the repeated-key traffic.
+func expC1(_, _ *hfxmd.MachineWorkload) {
+	fmt.Printf("fleet: %d instances x {%v} policies, %d events/load, seed %d\n",
+		c1Instances, fleet.Policies(), c1Events, c1Seed)
+
+	closeCluster := func(c *fleet.Cluster) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := c.Close(ctx); err != nil {
+			log.Fatalf("fleet close: %v", err)
+		}
+	}
+
+	var loads []c1LoadResult
+	var gates []c1Gate
+	for _, spec := range c1Loads() {
+		tr, err := workload.Generate(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lr := c1LoadResult{Load: spec.Name, Spec: spec}
+		fmt.Printf("\nload %q: %d events, %d clients, classes %v\n",
+			spec.Name, len(tr.Events), spec.Clients, tr.Classes())
+		fmt.Printf("%15s %7s %6s %5s %8s | %9s %9s %9s %8s\n",
+			"policy", "events", "done", "hits", "warm-hit", "p50 [ms]", "p95 [ms]", "fairness", "429s")
+		sigRef := ""
+		for _, p := range fleet.Policies() {
+			c := c1Cluster(p)
+			serial, err := workload.RunSerial(context.Background(), c, tr)
+			closeCluster(c)
+			if err != nil {
+				log.Fatalf("%v serial replay: %v", p, err)
+			}
+			if sigRef == "" {
+				sigRef = serial.SigDigest
+			} else if serial.SigDigest != sigRef {
+				log.Fatalf("policy %v changed job results: signature %s, want %s",
+					p, serial.SigDigest, sigRef)
+			}
+			pr := c1PolicyResult{Policy: p.String(), Serial: serial}
+			if c1Live {
+				lc := c1Cluster(p)
+				live, err := workload.RunLive(context.Background(), lc, tr,
+					workload.LiveOptions{TimeScale: c1Scale, Timeout: 2 * time.Minute})
+				closeCluster(lc)
+				if err != nil {
+					log.Fatalf("%v live replay: %v", p, err)
+				}
+				pr.Live = live
+			}
+			lr.Policies = append(lr.Policies, pr)
+
+			var done, hits int
+			for _, cr := range serial.Classes {
+				done += cr.Done
+				hits += cr.CacheHits
+			}
+			row := fmt.Sprintf("%15s %7d %6d %5d %7.1f%%", p, serial.Events, done, hits, 100*serial.WarmHitRatio())
+			if pr.Live != nil {
+				ic := pr.Live.Classes["interactive"]
+				row += fmt.Sprintf(" | %9.2f %9.2f %9.3f %8d", ic.P50MS, ic.P95MS, pr.Live.Fairness, pr.Live.Rejected429)
+			}
+			fmt.Println(row)
+			// One line per cell with everything a determinism check needs
+			// to diff two runs: stable fields only.
+			fmt.Printf("replay-digest load=%s policy=%s digest=%s sig=%s classes=%s\n",
+				spec.Name, p, serial.Digest, serial.SigDigest, classCountsLine(serial))
+		}
+		loads = append(loads, lr)
+		gates = append(gates, c1GateFor(lr))
+	}
+
+	fmt.Println()
+	for _, g := range gates {
+		status := "PASS"
+		if !g.Pass {
+			status = "FAIL"
+		}
+		fmt.Printf("gate %-7s warm-hit cache-affinity %.3f vs round-robin %.3f  %s\n",
+			g.Load, g.WarmHitCacheAffinity, g.WarmHitRoundRobin, status)
+	}
+	for _, g := range gates {
+		if !g.Pass {
+			log.Fatalf("load %q: cache-affinity (%.3f) did not beat round-robin (%.3f) on warm-hit ratio",
+				g.Load, g.WarmHitCacheAffinity, g.WarmHitRoundRobin)
+		}
+	}
+
+	if c1Out != "" {
+		out := struct {
+			Experiment string         `json:"experiment"`
+			Instances  int            `json:"instances"`
+			Events     int            `json:"eventsPerLoad"`
+			Seed       uint64         `json:"seed"`
+			Loads      []c1LoadResult `json:"loads"`
+			Gates      []c1Gate       `json:"gates"`
+		}{"c1", c1Instances, c1Events, c1Seed, loads, gates}
+		b, err := json.MarshalIndent(out, "", " ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(c1Out, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", c1Out)
+	}
+}
+
+func c1GateFor(lr c1LoadResult) c1Gate {
+	g := c1Gate{Load: lr.Load}
+	for _, pr := range lr.Policies {
+		switch pr.Policy {
+		case fleet.RoundRobin.String():
+			g.WarmHitRoundRobin = pr.Serial.WarmHitRatio()
+		case fleet.CacheAffinity.String():
+			g.WarmHitCacheAffinity = pr.Serial.WarmHitRatio()
+		}
+	}
+	g.Pass = g.WarmHitCacheAffinity > g.WarmHitRoundRobin
+	return g
+}
+
+// classCountsLine renders per-class counts in trace order, e.g.
+// "interactive:20/20/15,batch:4/4/0" (count/done/hits).
+func classCountsLine(rep *workload.Report) string {
+	s := ""
+	for i, cl := range rep.ClassOrder {
+		if i > 0 {
+			s += ","
+		}
+		cr := rep.Classes[cl]
+		s += fmt.Sprintf("%s:%d/%d/%d", cl, cr.Count, cr.Done, cr.CacheHits)
+	}
+	return s
+}

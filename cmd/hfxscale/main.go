@@ -14,7 +14,12 @@
 //	D1 — real distributed Fock builds on the in-process mprt runtime:
 //	     strong + weak scaling over rank counts, with measured parallel
 //	     efficiency, per-rank communication bytes, and measured collective
-//	     step counts checked against the bgq model's prediction.
+//	     step counts checked against the bgq model's prediction;
+//	C1 — real hfxd fleet benchmark: every routing policy (round-robin,
+//	     least-loaded, cost-weighted, cache-affinity) against synthetic
+//	     client populations (steady Poisson and bursty Gamma arrivals),
+//	     with deterministic serial replays, per-SLO-class latency, warm
+//	     cache hit ratios and the Jain fairness index.
 //
 // `hfxscale -exp list` prints this table with one-line descriptions.
 //
@@ -24,6 +29,7 @@
 //	hfxscale -exp e2
 //	hfxscale -exp p1 -pwaters 4 -builds 4
 //	hfxscale -exp d1 -d1-waters 2 -d1-ranks 1,2,4,8,16 -d1-sched dim-exchange
+//	hfxscale -exp c1 -c1-instances 3 -c1-events 24 -c1-out BENCH_fleet.json
 //	hfxscale -exp all
 package main
 
@@ -74,13 +80,15 @@ var experiments = []struct {
 		"repeated real builds on one pool, per-phase accounting", expP1},
 	{"d1", "D1: distributed Fock builds on the mprt runtime (real)",
 		"strong+weak rank scaling: efficiency, comm bytes, steps vs model", expD1},
+	{"c1", "C1: fleet routing x synthetic client populations (real)",
+		"routing-policy matrix over steady/bursty workloads, SLO report", expC1},
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hfxscale: ")
 	var (
-		exp    = flag.String("exp", "all", "experiment: e1|e2|e3|a1|a2|w1|m0|p1|d1|all|list")
+		exp    = flag.String("exp", "all", "experiment: e1|e2|e3|a1|a2|w1|m0|p1|d1|c1|all|list")
 		waters = flag.Int("waters", 4096, "condensed-phase system size (H2O molecules)")
 		tasks  = flag.Int("tasks", 3<<20, "node-level task count of the paper decomposition")
 		seed   = flag.Int64("seed", 1, "workload seed")
@@ -93,6 +101,12 @@ func main() {
 	flag.IntVar(&d1Waters, "d1-waters", 2, "strong-scaling cluster size (waters) for -exp d1; weak scaling grows from it")
 	flag.IntVar(&d1Tpr, "d1-threads", 1, "threads per rank for -exp d1 (power of two)")
 	flag.StringVar(&d1Sched, "d1-sched", "dim-exchange", "collective schedule for -exp d1: binomial|dim-exchange")
+	flag.IntVar(&c1Instances, "c1-instances", 2, "fleet size for -exp c1")
+	flag.IntVar(&c1Events, "c1-events", 24, "events per load shape for -exp c1")
+	flag.Uint64Var(&c1Seed, "c1-seed", 1, "workload seed for -exp c1")
+	flag.StringVar(&c1Out, "c1-out", "", "write the -exp c1 policy x load matrix to this JSON file")
+	flag.BoolVar(&c1Live, "c1-live", true, "also run live (wall-clock paced) replays in -exp c1")
+	flag.Float64Var(&c1Scale, "c1-scale", 0.05, "live-replay time scale for -exp c1 (0.05 = 20x speed)")
 	flag.Parse()
 
 	want := strings.ToLower(*exp)

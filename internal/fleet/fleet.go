@@ -1,0 +1,319 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hfxmd/internal/server"
+	"hfxmd/internal/trace"
+)
+
+// Options configures a Cluster. The zero value plus New's defaults give
+// a 2-instance round-robin fleet.
+type Options struct {
+	// Instances is the number of hfxd instances to boot (default 2).
+	Instances int
+	// Policy selects the routing strategy (default RoundRobin).
+	Policy Policy
+	// Server is the per-instance configuration template.
+	Server server.Config
+	// WorkersPerInstance optionally overrides Server.Workers per
+	// instance (len must equal Instances), modelling a heterogeneous
+	// fleet — the case where CostWeighted and LeastLoaded diverge.
+	WorkersPerInstance []int
+	// OverloadDepth is the queue depth at which CacheAffinity abandons a
+	// job's home instance and falls back to cost-weighted routing
+	// (default max(2, QueueCap/4)).
+	OverloadDepth int
+	// MaxSweeps bounds how many times Submit retries the whole fleet
+	// after finding every instance busy (default 3).
+	MaxSweeps int
+	// BackoffScale scales the servers' Retry-After hints between sweeps;
+	// in-process harnesses use small values (default 1.0). MaxBackoff
+	// caps a single wait (default 2s).
+	BackoffScale float64
+	MaxBackoff   time.Duration
+	// Registry receives the router's counters (fleet.*); one is created
+	// when nil.
+	Registry *trace.Registry
+}
+
+func (o *Options) fillDefaults() {
+	if o.Instances == 0 {
+		o.Instances = 2
+	}
+	if o.OverloadDepth == 0 {
+		// Server.QueueCap may itself be defaulted later; mirror its
+		// default here.
+		qc := o.Server.QueueCap
+		if qc == 0 {
+			qc = 64
+		}
+		o.OverloadDepth = qc / 4
+		if o.OverloadDepth < 2 {
+			o.OverloadDepth = 2
+		}
+	}
+	if o.MaxSweeps == 0 {
+		o.MaxSweeps = 3
+	}
+	if o.BackoffScale == 0 {
+		o.BackoffScale = 1
+	}
+	if o.MaxBackoff == 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.Registry == nil {
+		o.Registry = trace.NewRegistry()
+	}
+}
+
+// Instance is one hfxd process-equivalent: a server.Server with its own
+// queue, workers, caches and journal-less lifecycle, served over a real
+// loopback listener, plus the client the router submits through.
+type Instance struct {
+	Index  int
+	Srv    *server.Server
+	Client *server.Client
+	URL    string
+
+	ls net.Listener
+	hs *http.Server
+}
+
+// Cluster is N instances behind a routing policy. Create with New,
+// submit with Submit, stop with Close.
+type Cluster struct {
+	opts  Options
+	insts []*Instance
+	reg   *trace.Registry
+
+	cursor atomic.Int64 // round-robin state
+
+	// prices memoises PriceRequest by canonical key: the router prices
+	// each distinct job once, not once per submission.
+	priceMu sync.Mutex
+	prices  map[string]float64
+}
+
+// New boots the instances — each on its own 127.0.0.1 port — and
+// returns the routing front end.
+func New(opts Options) (*Cluster, error) {
+	opts.fillDefaults()
+	if len(opts.WorkersPerInstance) != 0 && len(opts.WorkersPerInstance) != opts.Instances {
+		return nil, fmt.Errorf("fleet: WorkersPerInstance has %d entries for %d instances",
+			len(opts.WorkersPerInstance), opts.Instances)
+	}
+	c := &Cluster{opts: opts, reg: opts.Registry, prices: make(map[string]float64)}
+	for _, name := range []string{
+		"fleet.submitted", "fleet.cache_hits", "fleet.failover_draining",
+		"fleet.rejected_busy", "fleet.retry_sweeps",
+	} {
+		c.reg.Counter(name)
+	}
+	for i := 0; i < opts.Instances; i++ {
+		cfg := opts.Server
+		if len(opts.WorkersPerInstance) != 0 {
+			cfg.Workers = opts.WorkersPerInstance[i]
+		}
+		srv, err := server.New(cfg)
+		if err != nil {
+			c.Close(context.Background())
+			return nil, fmt.Errorf("fleet: instance %d: %w", i, err)
+		}
+		ls, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Shutdown(context.Background())
+			c.Close(context.Background())
+			return nil, fmt.Errorf("fleet: instance %d listen: %w", i, err)
+		}
+		inst := &Instance{
+			Index: i,
+			Srv:   srv,
+			URL:   "http://" + ls.Addr().String(),
+			ls:    ls,
+			hs:    &http.Server{Handler: srv.Handler()},
+		}
+		inst.Client = server.NewClient(inst.URL)
+		go inst.hs.Serve(ls)
+		c.insts = append(c.insts, inst)
+		c.reg.Counter(fmt.Sprintf("fleet.inst%d.routed", i))
+	}
+	return c, nil
+}
+
+// Instances exposes the booted instances (index-stable).
+func (c *Cluster) Instances() []*Instance { return c.insts }
+
+// Registry exposes the router's metrics registry.
+func (c *Cluster) Registry() *trace.Registry { return c.reg }
+
+// Policy reports the routing policy.
+func (c *Cluster) Policy() Policy { return c.opts.Policy }
+
+// DrainInstance begins draining instance i — the lifecycle hook behind
+// rolling restarts and the failover tests. It returns once the
+// instance's draining flag is visible to routing; queued and in-flight
+// jobs keep running in the background and are awaited by Close.
+func (c *Cluster) DrainInstance(i int) {
+	go c.insts[i].Srv.Shutdown(context.Background())
+	for !c.insts[i].Srv.Draining() {
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// Close drains every instance (completing queued and in-flight jobs)
+// and tears the listeners down. The first error wins.
+func (c *Cluster) Close(ctx context.Context) error {
+	var firstErr error
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, inst := range c.insts {
+		wg.Add(1)
+		go func(inst *Instance) {
+			defer wg.Done()
+			err := inst.Srv.Shutdown(ctx)
+			if herr := inst.hs.Shutdown(ctx); err == nil {
+				err = herr
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("fleet: instance %d: %w", inst.Index, err)
+				}
+				mu.Unlock()
+			}
+		}(inst)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// loads snapshots every instance's routing state. key may be empty when
+// the policy does not need cache residency.
+func (c *Cluster) loads(key string) []Load {
+	out := make([]Load, len(c.insts))
+	for i, inst := range c.insts {
+		s := inst.Srv
+		out[i] = Load{
+			Depth:      s.QueueDepth(),
+			QueuedNS:   s.QueuedCostNS(),
+			InflightNS: s.InflightCostNS(),
+			Workers:    s.Workers(),
+			Draining:   s.Draining(),
+			HoldsKey:   key != "" && s.CacheContains(key),
+		}
+	}
+	return out
+}
+
+// price returns the job's canonical key and (for cost-aware policies)
+// its sched.PredictMakespan cost, memoised per key.
+func (c *Cluster) price(req server.JobRequest) (string, float64, error) {
+	switch c.opts.Policy {
+	case CacheAffinity:
+		key, err := server.CanonicalKey(req)
+		return key, 0, err
+	case CostWeighted:
+		key, err := server.CanonicalKey(req)
+		if err != nil {
+			return "", 0, err
+		}
+		c.priceMu.Lock()
+		p, ok := c.prices[key]
+		c.priceMu.Unlock()
+		if ok {
+			return key, p, nil
+		}
+		_, p, err = server.PriceRequest(req, c.opts.Server.BuilderThreads)
+		if err != nil {
+			return "", 0, err
+		}
+		c.priceMu.Lock()
+		c.prices[key] = p
+		c.priceMu.Unlock()
+		return key, p, nil
+	default:
+		return "", 0, nil
+	}
+}
+
+// Submit routes one job and waits for its result, returning the index
+// of the instance that served it. Failover is typed: an instance that
+// answers *DrainingError is excluded for the rest of the call (the
+// router's load snapshot was stale — the instance began draining after
+// it was picked), an instance that answers *BusyError is excluded for
+// the current sweep; when a sweep exhausts the fleet with everyone
+// busy, Submit backs off by the smallest Retry-After hint (scaled by
+// Options.BackoffScale) and sweeps again, up to Options.MaxSweeps.
+func (c *Cluster) Submit(ctx context.Context, req server.JobRequest) (*server.JobResult, int, error) {
+	key, predicted, err := c.price(req)
+	if err != nil {
+		return nil, -1, err
+	}
+	drained := make(map[int]bool)
+	var lastErr error
+	for sweep := 0; sweep < c.opts.MaxSweeps; sweep++ {
+		busy := make(map[int]bool)
+		var minRetry time.Duration
+		for {
+			i := decide(c.opts.Policy, c.loads(key), key, predicted,
+				int(c.cursor.Add(1)-1), c.opts.OverloadDepth,
+				func(i int) bool { return drained[i] || busy[i] })
+			if i < 0 {
+				break
+			}
+			res, err := c.insts[i].Client.Submit(ctx, req)
+			if err == nil {
+				c.reg.Counter("fleet.submitted").Add(1)
+				c.reg.Counter(fmt.Sprintf("fleet.inst%d.routed", i)).Add(1)
+				if res.CacheHit {
+					c.reg.Counter("fleet.cache_hits").Add(1)
+				}
+				return res, i, nil
+			}
+			lastErr = err
+			var drainErr *server.DrainingError
+			var busyErr *server.BusyError
+			switch {
+			case errors.As(err, &drainErr):
+				drained[i] = true
+				c.reg.Counter("fleet.failover_draining").Add(1)
+			case errors.As(err, &busyErr):
+				busy[i] = true
+				c.reg.Counter("fleet.rejected_busy").Add(1)
+				if minRetry == 0 || busyErr.RetryAfter < minRetry {
+					minRetry = busyErr.RetryAfter
+				}
+			default:
+				return nil, i, err
+			}
+		}
+		if len(drained) == len(c.insts) || len(busy) == 0 || sweep == c.opts.MaxSweeps-1 {
+			break
+		}
+		if minRetry == 0 {
+			minRetry = time.Second
+		}
+		wait := time.Duration(float64(minRetry) * c.opts.BackoffScale)
+		if wait > c.opts.MaxBackoff {
+			wait = c.opts.MaxBackoff
+		}
+		c.reg.Counter("fleet.retry_sweeps").Add(1)
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return nil, -1, ctx.Err()
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("fleet: no instance available")
+	}
+	return nil, -1, lastErr
+}

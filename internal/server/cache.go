@@ -66,6 +66,18 @@ func (c *lruCache) put(key string, res JobResult) {
 	}
 }
 
+// contains reports whether key is cached without refreshing its LRU
+// position: an affinity probe must not make an entry look hot.
+func (c *lruCache) contains(key string) bool {
+	if c.cap <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
 // len returns the number of cached entries.
 func (c *lruCache) len() int {
 	c.mu.Lock()

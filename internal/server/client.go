@@ -40,10 +40,26 @@ func (e *BusyError) Error() string {
 	return fmt.Sprintf("server busy, retry after %v", e.RetryAfter)
 }
 
+// DrainingError reports a 503 rejection from a server that has stopped
+// accepting jobs. It is typed — unlike a generic transport error —
+// because the right reaction differs: a fleet router fails the job over
+// to another instance immediately, while a busy rejection is worth a
+// backoff-and-retry against the same instance.
+type DrainingError struct{ Msg string }
+
+// Error implements error.
+func (e *DrainingError) Error() string {
+	if e.Msg == "" {
+		return "server is draining"
+	}
+	return "server is draining: " + e.Msg
+}
+
 // Submit posts one job and waits for its result. Job-level outcomes
 // (done, failed, cancelled) come back as a JobResult with State set;
 // transport and admission failures come back as errors — a full queue is
-// a *BusyError carrying the Retry-After hint.
+// a *BusyError carrying the Retry-After hint, a draining server a
+// *DrainingError the caller can fail over on.
 func (c *Client) Submit(ctx context.Context, req JobRequest) (*JobResult, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -72,9 +88,71 @@ func (c *Client) Submit(ctx context.Context, req JobRequest) (*JobResult, error)
 			secs = 1
 		}
 		return nil, &BusyError{RetryAfter: time.Duration(secs) * time.Second}
+	case http.StatusServiceUnavailable:
+		var body struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(io.LimitReader(hres.Body, 4096)).Decode(&body)
+		return nil, &DrainingError{Msg: body.Error}
 	default:
 		msg, _ := io.ReadAll(io.LimitReader(hres.Body, 4096))
 		return nil, fmt.Errorf("server returned %s: %s", hres.Status, bytes.TrimSpace(msg))
+	}
+}
+
+// RetryPolicy shapes SubmitRetry's reaction to 429 rejections.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total submit attempts (default 4).
+	MaxAttempts int
+	// MaxBackoff caps a single wait (default 2s). The wait itself is the
+	// server's Retry-After hint scaled by BackoffScale.
+	MaxBackoff time.Duration
+	// BackoffScale scales the server's Retry-After hint; in-process
+	// harnesses use small values so a 1 s hint does not dominate the run
+	// (default 1.0).
+	BackoffScale float64
+}
+
+func (p *RetryPolicy) fillDefaults() {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 4
+	}
+	if p.MaxBackoff == 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	if p.BackoffScale == 0 {
+		p.BackoffScale = 1
+	}
+}
+
+// SubmitRetry posts a job, backing off and retrying on BusyError per the
+// policy. It is the client loop synthetic-load generators use: busy
+// rejections are waited out (honouring the server's Retry-After hint),
+// while DrainingError returns immediately — one instance cannot wait a
+// drain out, the caller must fail over. The attempt count (≥ 1) is
+// returned alongside the result so callers can account retries.
+func (c *Client) SubmitRetry(ctx context.Context, req JobRequest, pol RetryPolicy) (*JobResult, int, error) {
+	pol.fillDefaults()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		res, err := c.Submit(ctx, req)
+		if err == nil {
+			return res, attempt, nil
+		}
+		lastErr = err
+		busy, ok := err.(*BusyError)
+		if !ok || attempt >= pol.MaxAttempts {
+			return nil, attempt, lastErr
+		}
+		wait := time.Duration(float64(busy.RetryAfter) * pol.BackoffScale)
+		if wait > pol.MaxBackoff {
+			wait = pol.MaxBackoff
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return nil, attempt, ctx.Err()
+		}
 	}
 }
 

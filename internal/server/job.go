@@ -466,10 +466,15 @@ func wellDepth(pts []ScanPointJSON) float64 {
 }
 
 // retryAfterSeconds estimates how long a client should wait before
-// resubmitting when the queue is full: the queued predicted work divided
-// by the worker count, clamped to [1, 300] seconds.
-func retryAfterSeconds(queuedNS float64, workers int) int {
-	s := queuedNS / float64(max(workers, 1)) / float64(time.Second)
+// resubmitting when the queue is full: the predicted work ahead of the
+// retry — everything queued, everything the workers are currently
+// executing, and the rejected job itself — divided by the worker count,
+// clamped to [1, 300] seconds. In-flight work matters: with an empty
+// queue but every worker minutes deep into a running job, the queued
+// cost alone would suggest an immediate retry that is guaranteed to
+// find the workers still busy.
+func retryAfterSeconds(queuedNS, inflightNS, newNS float64, workers int) int {
+	s := (queuedNS + inflightNS + newNS) / float64(max(workers, 1)) / float64(time.Second)
 	switch {
 	case s < 1:
 		return 1
@@ -478,4 +483,40 @@ func retryAfterSeconds(queuedNS float64, workers int) int {
 	default:
 		return int(s + 0.5)
 	}
+}
+
+// CanonicalKey returns the canonical result-cache hash of a request —
+// the identity a fleet router needs for cache-affinity routing — without
+// doing any screening work. The request is normalized and validated on a
+// copy; the caller's value is not mutated.
+func CanonicalKey(req JobRequest) (string, error) {
+	req.normalize()
+	if err := req.validate(); err != nil {
+		return "", err
+	}
+	mol, err := req.resolveMolecule()
+	if err != nil {
+		return "", err
+	}
+	return req.cacheKey(mol), nil
+}
+
+// PriceRequest resolves, screens and prices a request exactly as server
+// admission would (sched.PredictMakespan over the screened task costs),
+// returning the canonical cache key and the predicted cost in cost-model
+// nanoseconds. It is the router-side pricing hook: a cost-weighted fleet
+// router calls it once per distinct key and scores instances by
+// predicted completion time. The request is normalized on a copy.
+func PriceRequest(req JobRequest, threads int) (key string, predictedNS float64, err error) {
+	req.normalize()
+	if err := req.validate(); err != nil {
+		return "", 0, err
+	}
+	sopts := screen.DefaultOptions()
+	sopts.Threshold = req.Screen
+	prep, predicted, err := prepare(&req, max(threads, 1), sopts)
+	if err != nil {
+		return "", 0, err
+	}
+	return req.cacheKey(prep.mol), predicted, nil
 }

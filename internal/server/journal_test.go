@@ -151,9 +151,16 @@ func TestServerRestoresJournaledJobsOnBoot(t *testing.T) {
 		t.Fatalf("replayed screen result empty: %+v", res)
 	}
 
-	// ID allocation must have advanced past the replayed IDs.
-	if res.ID <= "job-000007" {
-		t.Fatalf("live job ID %s collides with replayed range", res.ID)
+	// A cache hit answers from its own ID sequence — it must not consume
+	// a job ID, which would leave a journal-less gap in the job-NNN space.
+	if !strings.HasPrefix(res.ID, "hit-") {
+		t.Fatalf("cache-hit ID %s, want hit- form", res.ID)
+	}
+	// Job-ID allocation must have advanced past the replayed IDs: a
+	// genuinely new job may not collide with the replayed range.
+	fresh := submit(t, ts, JobRequest{Kind: KindScreen, System: "lih"})
+	if fresh.CacheHit || fresh.ID <= "job-000007" {
+		t.Fatalf("live job ID %s collides with replayed range", fresh.ID)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

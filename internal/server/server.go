@@ -94,12 +94,17 @@ type Server struct {
 
 	journal *jobJournal // nil unless Config.JournalPath is set
 
-	start    time.Time
-	nextID   atomic.Int64
-	nextSeq  atomic.Int64
-	draining atomic.Bool
-	workerWG sync.WaitGroup
-	shutOnce sync.Once
+	start     time.Time
+	nextID    atomic.Int64
+	nextHitID atomic.Int64
+	nextSeq   atomic.Int64
+	// inflightNS sums the predicted cost (cost-model ns) of jobs the
+	// workers are currently executing; together with the queue's queued
+	// cost it prices the Retry-After hint of a 429.
+	inflightNS atomic.Int64
+	draining   atomic.Bool
+	workerWG   sync.WaitGroup
+	shutOnce   sync.Once
 }
 
 // latencyEdgesMS are the request-latency histogram buckets.
@@ -219,6 +224,28 @@ func (s *Server) Metrics() *trace.Registry { return s.reg }
 
 // QueueDepth reports the current number of queued jobs.
 func (s *Server) QueueDepth() int { return s.q.depth() }
+
+// QueuedCostNS reports the summed predicted cost (cost-model ns) of the
+// queued jobs — the live load signal least-loaded fleet routing uses.
+func (s *Server) QueuedCostNS() float64 { return s.q.queuedCost() }
+
+// InflightCostNS reports the summed predicted cost (cost-model ns) of
+// the jobs currently executing on the workers.
+func (s *Server) InflightCostNS() float64 { return float64(s.inflightNS.Load()) }
+
+// Workers reports the configured worker count, the capacity a
+// cost-weighted router divides predicted load by.
+func (s *Server) Workers() int { return s.cfg.Workers }
+
+// Draining reports whether the server has stopped accepting jobs — the
+// lifecycle signal a fleet router uses to route around an instance that
+// is shutting down.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// CacheContains reports whether the result cache currently holds the
+// canonical key, without touching the LRU order: the probe behind
+// cache-affinity routing.
+func (s *Server) CacheContains(key string) bool { return s.cache.contains(key) }
 
 // Shutdown gracefully stops the server: admission is closed immediately
 // (submits answer 503), the workers drain every queued and in-flight
@@ -340,6 +367,7 @@ func (s *Server) worker() {
 			s.finish(j, &JobResult{State: StateCancelled, Error: err.Error(), QueueMS: queueMS})
 			continue
 		}
+		s.inflightNS.Add(int64(j.predicted))
 		if s.cfg.BeforeRun != nil {
 			s.cfg.BeforeRun(j.req.Kind)
 		}
@@ -349,6 +377,7 @@ func (s *Server) worker() {
 		res.QueueMS = queueMS
 		res.RunMS = float64(time.Since(t0)) / float64(time.Millisecond)
 		s.reg.Gauge("jobs.running").Add(-1)
+		s.inflightNS.Add(-int64(j.predicted))
 		s.reg.Counter("jobs.executed").Add(1)
 		s.reg.Histogram("job.run_ms", latencyEdgesMS).Observe(res.RunMS)
 		s.finish(j, res)
@@ -621,7 +650,11 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	if res, ok := s.cache.get(key); ok {
 		s.reg.Counter("cache.hits").Add(1)
 		res.CacheHit = true
-		res.ID = s.newID()
+		// Hits mint from their own sequence with a distinct prefix: a
+		// job-NNN ID is only ever handed out by admission, which (when
+		// journaling) records it, so after a restart every job-NNN ID maps
+		// to exactly one journaled submit — a hit must not burn one.
+		res.ID = s.newHitID()
 		res.QueueMS, res.RunMS = 0, 0
 		writeJSON(w, http.StatusOK, res)
 		return
@@ -672,7 +705,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		}
 		s.reg.Counter("jobs.rejected_full").Add(1)
 		w.Header().Set("Retry-After",
-			strconv.Itoa(retryAfterSeconds(s.q.queuedCost()+predicted, s.cfg.Workers)))
+			strconv.Itoa(retryAfterSeconds(s.q.queuedCost(), s.InflightCostNS(), predicted, s.cfg.Workers)))
 		httpError(w, http.StatusTooManyRequests, "admission queue full")
 		return
 	}
@@ -696,6 +729,10 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) newID() string {
 	return fmt.Sprintf("job-%06d", s.nextID.Add(1))
+}
+
+func (s *Server) newHitID() string {
+	return fmt.Sprintf("hit-%06d", s.nextHitID.Add(1))
 }
 
 // handleSystems lists the built-in geometries and job kinds.

@@ -1,0 +1,345 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"time"
+
+	"hfxmd/internal/fleet"
+	"hfxmd/internal/server"
+)
+
+// ClassReport aggregates one SLO class.
+type ClassReport struct {
+	Count     int `json:"count"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Errors    int `json:"errors"` // submissions that never produced a result
+	CacheHits int `json:"cacheHits"`
+	// Latency/throughput fields are live-mode only: serial replay
+	// measures counts and signatures, not time.
+	P50MS        float64 `json:"p50Ms,omitempty"`
+	P95MS        float64 `json:"p95Ms,omitempty"`
+	MeanMS       float64 `json:"meanMs,omitempty"`
+	ThroughputHz float64 `json:"throughputHz,omitempty"`
+}
+
+// InstanceReport is one instance's share of a run.
+type InstanceReport struct {
+	Routed      int64   `json:"routed"`
+	CacheHits   int64   `json:"cacheHits"`
+	CacheMisses int64   `json:"cacheMisses"`
+	HitRatio    float64 `json:"hitRatio"`
+}
+
+// Report summarises one trace replay against a fleet.
+type Report struct {
+	Policy string `json:"policy"`
+	Mode   string `json:"mode"` // serial | live
+	Events int    `json:"events"`
+	// Classes maps SLO class -> aggregate; ClassOrder preserves
+	// first-seen trace order for stable rendering.
+	Classes    map[string]*ClassReport `json:"classes"`
+	ClassOrder []string                `json:"classOrder"`
+	Instances  []InstanceReport        `json:"instances"`
+	// Fairness is the Jain index over per-client completions: 1 when
+	// every client got equal service, 1/n when one client got it all.
+	Fairness float64 `json:"fairness"`
+	// Rejected429 and RetrySweeps are the router's backpressure
+	// counters for the run.
+	Rejected429 int64   `json:"rejected429"`
+	RetrySweeps int64   `json:"retrySweeps"`
+	WallMS      float64 `json:"wallMs"`
+	// Digest folds (seq, class, instance, hit, state, payload signature)
+	// over the whole run: serial replays of the same trace through the
+	// same policy must agree on it exactly. SigDigest folds only
+	// (seq, state, payload signature) — routing-independent — so it must
+	// agree across *policies* too: the proof that routing never changes
+	// answers. Both are empty in live mode.
+	Digest    string `json:"digest,omitempty"`
+	SigDigest string `json:"sigDigest,omitempty"`
+}
+
+// resultSignature fingerprints the numerical payload of a result:
+// math.Float64bits of every physics number, so two results agree iff
+// they are bitwise identical. Timing fields (QueueMS, RunMS) and IDs
+// are deliberately excluded — they vary run to run; the physics must
+// not.
+func resultSignature(res *server.JobResult) uint64 {
+	h := fnv.New64a()
+	w64 := func(u uint64) {
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(u >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	wf := func(f float64) { w64(math.Float64bits(f)) }
+	wi := func(i int64) { w64(uint64(i)) }
+	h.Write([]byte(res.State))
+	h.Write([]byte(res.CacheKey))
+	switch {
+	case res.SCF != nil:
+		s := res.SCF
+		wf(s.Energy)
+		wf(s.EOne)
+		wf(s.ECoulomb)
+		wf(s.EExchangeHF)
+		wf(s.EXC)
+		wf(s.ENuclear)
+		wi(int64(s.Iterations))
+		for _, d := range s.Dipole {
+			wf(d)
+		}
+		for _, q := range s.Mulliken {
+			wf(q)
+		}
+	case res.Build != nil:
+		b := res.Build
+		wi(int64(b.NBasis))
+		wi(b.QuartetsComputed)
+		wi(b.QuartetsScreened)
+		wf(b.JNorm)
+		wf(b.KNorm)
+		wf(b.ExchangeEnergy)
+	case res.Screen != nil:
+		s := res.Screen
+		wi(int64(s.TotalPairs))
+		wi(int64(s.DistanceSurvived))
+		wi(int64(s.SchwarzSurvived))
+		wi(int64(s.NTasks))
+		wf(s.TotalCostNS)
+	case res.Scan != nil:
+		for _, p := range res.Scan.Points {
+			wf(p.R)
+			wf(p.Energy)
+		}
+		wf(res.Scan.WellKcal)
+	}
+	return h.Sum64()
+}
+
+// jain returns the Jain fairness index (Σx)²/(n·Σx²) of the non-empty
+// allocation vector, 1 for an empty one.
+func jain(xs []float64) float64 {
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// RunSerial replays a trace against the fleet one event at a time, in
+// trace order, ignoring arrival times. With exactly one job in flight
+// the routing decision, cache behaviour and result of every event are
+// functions of the trace alone, so two serial replays of the same trace
+// agree event for event — counts, per-instance routing, digest. This is
+// the mode determinism checks and cross-policy comparisons use; live
+// timing numbers come from RunLive.
+func RunSerial(ctx context.Context, c *fleet.Cluster, tr *Trace) (*Report, error) {
+	rep := newReport(c, tr, "serial")
+	t0 := time.Now()
+	digest := fnv.New64a()
+	sigDigest := fnv.New64a()
+	perClient := make([]float64, tr.Spec.Clients)
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		cr := rep.Classes[ev.Class]
+		cr.Count++
+		res, inst, err := c.Submit(ctx, ev.Request)
+		var sig uint64
+		state := "error"
+		hit := false
+		if err == nil {
+			state = res.State
+			hit = res.CacheHit
+			sig = resultSignature(res)
+			switch res.State {
+			case server.StateDone:
+				cr.Done++
+				if ev.Client < len(perClient) {
+					perClient[ev.Client]++
+				}
+			default:
+				cr.Failed++
+			}
+			if res.CacheHit {
+				cr.CacheHits++
+			}
+		} else {
+			cr.Errors++
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+		}
+		fmt.Fprintf(digest, "%d|%s|%d|%v|%s|%016x\n", ev.Seq, ev.Class, inst, hit, state, sig)
+		fmt.Fprintf(sigDigest, "%d|%s|%016x\n", ev.Seq, state, sig)
+	}
+	rep.finish(c, perClient, time.Since(t0))
+	rep.Digest = fmt.Sprintf("%016x", digest.Sum64())
+	rep.SigDigest = fmt.Sprintf("%016x", sigDigest.Sum64())
+	return rep, nil
+}
+
+// LiveOptions tunes RunLive.
+type LiveOptions struct {
+	// TimeScale maps trace time to wall time (0.1 plays a trace at 10×
+	// speed; default 1).
+	TimeScale float64
+	// Timeout bounds the whole run (default 5m).
+	Timeout time.Duration
+}
+
+// RunLive replays a trace as a live client population: one goroutine
+// per client, each pacing its own events by their arrival offsets. The
+// interesting outputs are the time-domain ones — per-class latency
+// percentiles and throughput, Jain fairness across clients, the
+// router's 429/retry counters — which are real measurements and
+// therefore NOT deterministic across runs; use RunSerial for the
+// deterministic counts.
+func RunLive(ctx context.Context, c *fleet.Cluster, tr *Trace, opts LiveOptions) (*Report, error) {
+	if opts.TimeScale == 0 {
+		opts.TimeScale = 1
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = 5 * time.Minute
+	}
+	ctx, cancel := context.WithTimeout(ctx, opts.Timeout)
+	defer cancel()
+
+	rep := newReport(c, tr, "live")
+	byClient := make([][]*Event, tr.Spec.Clients)
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		k := ev.Client % len(byClient)
+		byClient[k] = append(byClient[k], ev)
+	}
+
+	type outcome struct {
+		ev        *Event
+		res       *server.JobResult
+		err       error
+		latencyMS float64
+	}
+	out := make(chan outcome, len(tr.Events))
+	start := time.Now()
+	for _, evs := range byClient {
+		go func(evs []*Event) {
+			for _, ev := range evs {
+				due := start.Add(time.Duration(float64(ev.At()) * opts.TimeScale))
+				if d := time.Until(due); d > 0 {
+					select {
+					case <-time.After(d):
+					case <-ctx.Done():
+					}
+				}
+				t0 := time.Now()
+				res, _, err := c.Submit(ctx, ev.Request)
+				out <- outcome{ev, res, err, float64(time.Since(t0)) / float64(time.Millisecond)}
+			}
+		}(evs)
+	}
+
+	latencies := map[string][]float64{}
+	perClient := make([]float64, tr.Spec.Clients)
+	for n := 0; n < len(tr.Events); n++ {
+		o := <-out
+		cr := rep.Classes[o.ev.Class]
+		cr.Count++
+		if o.err != nil {
+			cr.Errors++
+			continue
+		}
+		latencies[o.ev.Class] = append(latencies[o.ev.Class], o.latencyMS)
+		switch o.res.State {
+		case server.StateDone:
+			cr.Done++
+			perClient[o.ev.Client]++
+		default:
+			cr.Failed++
+		}
+		if o.res.CacheHit {
+			cr.CacheHits++
+		}
+	}
+	wall := time.Since(start)
+	for class, ls := range latencies {
+		sort.Float64s(ls)
+		cr := rep.Classes[class]
+		cr.P50MS = quantile(ls, 0.5)
+		cr.P95MS = quantile(ls, 0.95)
+		var sum float64
+		for _, l := range ls {
+			sum += l
+		}
+		cr.MeanMS = sum / float64(len(ls))
+		cr.ThroughputHz = float64(cr.Done) / wall.Seconds()
+	}
+	rep.finish(c, perClient, wall)
+	return rep, nil
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func newReport(c *fleet.Cluster, tr *Trace, mode string) *Report {
+	rep := &Report{
+		Policy:     c.Policy().String(),
+		Mode:       mode,
+		Events:     len(tr.Events),
+		Classes:    map[string]*ClassReport{},
+		ClassOrder: tr.Classes(),
+	}
+	for _, cl := range rep.ClassOrder {
+		rep.Classes[cl] = &ClassReport{}
+	}
+	return rep
+}
+
+// finish folds the fleet's state into the report: per-instance routing
+// and cache counters, backpressure totals, fairness, wall time.
+func (rep *Report) finish(c *fleet.Cluster, perClient []float64, wall time.Duration) {
+	reg := c.Registry()
+	for i, inst := range c.Instances() {
+		m := inst.Srv.Metrics()
+		ir := InstanceReport{
+			Routed:      reg.Counter(fmt.Sprintf("fleet.inst%d.routed", i)).Value(),
+			CacheHits:   m.Counter("cache.hits").Value(),
+			CacheMisses: m.Counter("cache.misses").Value(),
+		}
+		if t := ir.CacheHits + ir.CacheMisses; t > 0 {
+			ir.HitRatio = float64(ir.CacheHits) / float64(t)
+		}
+		rep.Instances = append(rep.Instances, ir)
+	}
+	rep.Rejected429 = reg.Counter("fleet.rejected_busy").Value()
+	rep.RetrySweeps = reg.Counter("fleet.retry_sweeps").Value()
+	rep.Fairness = jain(perClient)
+	rep.WallMS = float64(wall) / float64(time.Millisecond)
+}
+
+// WarmHitRatio is the fleet-wide cache hit ratio of the run — the
+// headline number cache-affinity routing is meant to move.
+func (rep *Report) WarmHitRatio() float64 {
+	var hits, total int64
+	for _, ir := range rep.Instances {
+		hits += ir.CacheHits
+		total += ir.CacheHits + ir.CacheMisses
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}

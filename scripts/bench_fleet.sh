@@ -1,0 +1,25 @@
+#!/bin/sh
+# Benchmark the hfxd fleet router and emit BENCH_fleet.json: the full
+# routing-policy x load-shape matrix of `hfxscale -exp c1` — for every
+# (policy, load) cell a deterministic serial replay (per-SLO-class
+# counts, per-instance routing and cache hit ratios, replay digests) and
+# a live wall-clock-paced replay (per-class latency percentiles,
+# throughput, Jain fairness, 429/retry counts). The run itself enforces
+# the two fleet invariants: identical result signatures across all
+# policies, and cache-affinity beating round-robin on warm-hit ratio
+# under the repeated-key traffic. This file is the committed fleet
+# routing baseline.
+#
+# Usage: scripts/bench_fleet.sh [output.json]
+# C1_EVENTS / C1_INSTANCES / C1_SEED override the matrix size and seed.
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_fleet.json}"
+
+go run ./cmd/hfxscale -exp c1 \
+	-c1-instances "${C1_INSTANCES:-2}" \
+	-c1-events "${C1_EVENTS:-24}" \
+	-c1-seed "${C1_SEED:-1}" \
+	-c1-out "$out"
+
+echo "wrote $out"

@@ -16,7 +16,10 @@
 # The checkpoint layer gets a race pass over every fault-injected resume
 # path plus a real SIGKILL crash-restart smoke (scripts/smoke_ckpt.sh)
 # that diffs the resumed run's final-state hash against an
-# uninterrupted reference.
+# uninterrupted reference. The fleet router and workload generator get
+# their own race pass (routing policies, typed failover, trace replay),
+# and a seeded-replay determinism smoke: the same c1 workload replayed
+# twice must print identical per-SLO-class counts and digests.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -53,6 +56,20 @@ go test -race -count=1 ./internal/server/ -run 'TestJobJournal|TestServerRestore
 # require the resumed final state hash to equal the uninterrupted
 # reference — bitwise.
 scripts/smoke_ckpt.sh
+
+# Fleet router + workload generator: race pass over the routing
+# policies, typed draining/busy failover, the client retry loop, and
+# both replay modes.
+go test -race -count=1 ./internal/fleet/ ./internal/workload/
+go test -race -count=1 ./internal/server/ -run 'TestClientDrainingErrorTyped|TestClientSubmitRetryWaitsOutBusy|TestRetryAfterIncludesInflightWork|TestCacheHitIDsDistinctFromJournaledJobIDs'
+# Seeded-replay determinism smoke: two independent c1 runs (serial
+# replays only) must agree on every per-class count and digest line.
+rep1="$(mktemp)"; rep2="$(mktemp)"
+go run ./cmd/hfxscale -exp c1 -c1-events 12 -c1-live=false | grep '^replay-digest' > "$rep1"
+go run ./cmd/hfxscale -exp c1 -c1-events 12 -c1-live=false | grep '^replay-digest' > "$rep2"
+diff "$rep1" "$rep2"
+test -s "$rep1"
+rm -f "$rep1" "$rep2"
 
 # Fock bench regression gate against the committed baseline.
 fresh="$(mktemp)"
