@@ -21,6 +21,7 @@ import (
 	"hfxmd/internal/sched"
 	"hfxmd/internal/screen"
 	"hfxmd/internal/server"
+	"hfxmd/internal/store"
 	"hfxmd/internal/torus"
 	"hfxmd/internal/trace"
 )
@@ -291,6 +292,27 @@ type PotentialFunc = md.PotentialFunc
 
 // SCFPotential adapts an SCF configuration into an MD potential.
 func SCFPotential(cfg SCFConfig) PotentialFunc { return md.SCFPotential(cfg) }
+
+// Store is the two-tier content-addressed store: a byte-budgeted hot
+// in-memory LRU over CRC-framed on-disk segments. hfxd, aimd and the
+// fleet harness share one via its directory.
+type Store = store.Store
+
+// StoreOptions configures OpenStore.
+type StoreOptions = store.Options
+
+// OpenStore opens (creating if needed) a tiered store rooted at dir,
+// rebuilding the index from the segment files on disk.
+func OpenStore(opts StoreOptions) (*Store, error) { return store.Open(opts) }
+
+// StoredSCFPotential is SCFPotential with partial-hit prefix reuse
+// through a tiered store: each SCF starts from the stored converged
+// density of the previous same-composition geometry (the prior MD step)
+// and stores its own back. Seeded runs converge to the same tolerance
+// but not the same bits as cold ones. A nil store is the cold potential.
+func StoredSCFPotential(cfg SCFConfig, st *Store) PotentialFunc {
+	return md.StoredSCFPotential(cfg, st)
+}
 
 // RunMD integrates a Born–Oppenheimer trajectory.
 func RunMD(mol *Molecule, pot PotentialFunc, opts MDOptions) (*Trajectory, error) {

@@ -45,6 +45,8 @@ func main() {
 		thermostat = flag.Bool("thermostat", false, "enable Berendsen thermostat")
 		seed       = flag.Int64("seed", 7, "velocity-initialisation seed")
 
+		storeDir = flag.String("store-dir", "", "tiered store directory: each SCF warm-starts from the previous step's converged density (same tolerance, different bits than a cold run)")
+
 		ckptDir   = flag.String("ckpt-dir", "", "checkpoint directory (empty disables checkpointing)")
 		ckptEvery = flag.Int64("ckpt-every", 10, "snapshot cadence in steps (journal covers the gaps)")
 		ckptKeep  = flag.Int("ckpt-keep", 3, "snapshot ring size")
@@ -69,7 +71,18 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown functional %q", *functional)
 	}
-	pot := hfxmd.SCFPotential(hfxmd.SCFConfig{Basis: *basisName, Functional: f})
+	scfCfg := hfxmd.SCFConfig{Basis: *basisName, Functional: f}
+	pot := hfxmd.SCFPotential(scfCfg)
+	var st *hfxmd.Store
+	if *storeDir != "" {
+		var err error
+		st, err = hfxmd.OpenStore(hfxmd.StoreOptions{Dir: *storeDir})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		pot = hfxmd.StoredSCFPotential(scfCfg, st)
+	}
 
 	opts := hfxmd.MDOptions{
 		Steps: *steps, Dt: *dt, TemperatureK: *temp, Thermostat: *thermostat, Seed: *seed,
@@ -150,6 +163,11 @@ func main() {
 			fr.Step, fr.TimeFS, fr.Potential, fr.Kinetic, fr.Total, fr.TempK)
 	}
 	fmt.Printf("\nenergy drift (peak-to-peak per atom): %.3e Eh\n", traj.EnergyDrift())
+	if st != nil {
+		fmt.Printf("store: %d SCF calls density-seeded, %d fallbacks (%s)\n",
+			st.Registry().Counter("md.density_seeded").Value(),
+			st.Registry().Counter("md.seed_fallbacks").Value(), *storeDir)
+	}
 	if *ckptDir != "" {
 		fmt.Printf("checkpoints: %d snapshots (%d bytes), %d journal appends (%d bytes) in %s\n",
 			reg.Counter("ckpt.snapshots").Value(), reg.Counter("ckpt.snapshot_bytes").Value(),

@@ -46,7 +46,8 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 		workers  = flag.Int("workers", 4, "job workers (each owns long-lived builder state)")
 		queueCap = flag.Int("queue", 64, "admission queue capacity")
-		cacheCap = flag.Int("cache", 256, "result cache entries (0 disables)")
+		cacheMB  = flag.Int("cache-mb", 64, "hot result-cache byte budget in MiB (negative disables)")
+		storeDir = flag.String("store-dir", "", "tiered store directory: results, prefix densities and ERI spills persist here and survive restarts (empty = memory only)")
 		threads  = flag.Int("threads", 1, "HFX threads per builder")
 		timeout  = flag.Duration("timeout", 2*time.Minute, "default per-job deadline")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
@@ -71,10 +72,15 @@ func main() {
 		return
 	}
 
+	cacheBytes := int64(*cacheMB) << 20
+	if *cacheMB < 0 {
+		cacheBytes = -1
+	}
 	srv, err := server.New(server.Config{
 		Workers:        *workers,
 		QueueCap:       *queueCap,
-		CacheCap:       *cacheCap,
+		CacheBytes:     cacheBytes,
+		StoreDir:       *storeDir,
 		BuilderThreads: *threads,
 		DefaultTimeout: *timeout,
 		AgingNSPerSec:  *aging,
@@ -90,8 +96,8 @@ func main() {
 	}
 	// The resolved address line is the machine-readable handshake the
 	// smoke test greps for; keep its format stable.
-	fmt.Printf("hfxd: listening on http://%s (workers=%d queue=%d cache=%d)\n",
-		ln.Addr(), *workers, *queueCap, *cacheCap)
+	fmt.Printf("hfxd: listening on http://%s (workers=%d queue=%d cache-mb=%d)\n",
+		ln.Addr(), *workers, *queueCap, *cacheMB)
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)

@@ -19,7 +19,11 @@
 //	     least-loaded, cost-weighted, cache-affinity) against synthetic
 //	     client populations (steady Poisson and bursty Gamma arrivals),
 //	     with deterministic serial replays, per-SLO-class latency, warm
-//	     cache hit ratios and the Jain fairness index.
+//	     cache hit ratios and the Jain fairness index;
+//	S1 — real tiered-store benchmark: cold vs disk-warm vs RAM-warm
+//	     service latency through a restarted hfxd instance, per-tier Get
+//	     micro-latency, ERI cache spill/warm round-trip (bitwise-checked),
+//	     and the fleet-wide hit-ratio gain from one shared store.
 //
 // `hfxscale -exp list` prints this table with one-line descriptions.
 //
@@ -82,13 +86,15 @@ var experiments = []struct {
 		"strong+weak rank scaling: efficiency, comm bytes, steps vs model", expD1},
 	{"c1", "C1: fleet routing x synthetic client populations (real)",
 		"routing-policy matrix over steady/bursty workloads, SLO report", expC1},
+	{"s1", "S1: tiered content-addressed store (real)",
+		"cold/disk-warm/RAM-warm latency, ERI spill warm, fleet shared-store hits", expS1},
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hfxscale: ")
 	var (
-		exp    = flag.String("exp", "all", "experiment: e1|e2|e3|a1|a2|w1|m0|p1|d1|c1|all|list")
+		exp    = flag.String("exp", "all", "experiment: e1|e2|e3|a1|a2|w1|m0|p1|d1|c1|s1|all|list")
 		waters = flag.Int("waters", 4096, "condensed-phase system size (H2O molecules)")
 		tasks  = flag.Int("tasks", 3<<20, "node-level task count of the paper decomposition")
 		seed   = flag.Int64("seed", 1, "workload seed")
@@ -107,6 +113,9 @@ func main() {
 	flag.StringVar(&c1Out, "c1-out", "", "write the -exp c1 policy x load matrix to this JSON file")
 	flag.BoolVar(&c1Live, "c1-live", true, "also run live (wall-clock paced) replays in -exp c1")
 	flag.Float64Var(&c1Scale, "c1-scale", 0.05, "live-replay time scale for -exp c1 (0.05 = 20x speed)")
+	flag.StringVar(&s1Out, "s1-out", "", "write the -exp s1 store benchmark to this JSON file")
+	flag.IntVar(&s1Trials, "s1-trials", 25, "latency trials per tier for -exp s1")
+	flag.IntVar(&s1Waters, "s1-waters", 2, "cluster size for the -exp s1 ERI spill phase")
 	flag.Parse()
 
 	want := strings.ToLower(*exp)

@@ -1,0 +1,373 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"hfxmd"
+	"hfxmd/internal/basis"
+	"hfxmd/internal/chem"
+	"hfxmd/internal/fleet"
+	"hfxmd/internal/hfx"
+	"hfxmd/internal/integrals"
+	"hfxmd/internal/linalg"
+	"hfxmd/internal/screen"
+	"hfxmd/internal/server"
+	"hfxmd/internal/store"
+)
+
+var (
+	s1Out    string
+	s1Trials int
+	s1Waters int
+)
+
+// ---------------------------------------------------------------------------
+// S1: the tiered content-addressed store, measured end to end.
+//
+// Four phases, all real (no simulator):
+//
+//  1. result tier — one hfxd instance with a store directory serves an
+//     SCF job cold, RAM-warm (hot-tier hit), and — after a full restart
+//     — disk-warm; HTTP-level cache hits are asserted on both boots,
+//     and the per-tier latency is the answer-materialization path
+//     (store Get + JobResult decode, hot tier dropped before every
+//     disk trial). The acceptance ordering is cold >> disk-warm >
+//     RAM-warm.
+//  2. store micro-latency — Get medians against the hot tier vs the
+//     disk tier (DropHot before each read) on fixed-size values,
+//     isolating the tier cost from HTTP/service overhead.
+//  3. ERI spill — a semi-direct builder's cache is exported through the
+//     store and imported into a cold builder; the warmed build must
+//     replay every quartet as a hit and match the donor bitwise.
+//  4. fleet sharing — the same repeated-job workload through a
+//     round-robin fleet with per-instance stores vs one shared store;
+//     the shared store must raise the fleet-wide hit ratio.
+
+type s1ResultTier struct {
+	Trials        int     `json:"trials"`
+	ColdNS        int64   `json:"coldNS"`
+	RAMWarmP50NS  int64   `json:"ramWarmP50NS"`
+	DiskWarmP50NS int64   `json:"diskWarmP50NS"`
+	ColdOverDisk  float64 `json:"coldOverDisk"`
+	DiskOverRAM   float64 `json:"diskOverRAM"`
+}
+
+type s1Micro struct {
+	Keys      int   `json:"keys"`
+	ValueSize int   `json:"valueBytes"`
+	Ops       int   `json:"ops"`
+	HotP50NS  int64 `json:"hotGetP50NS"`
+	DiskP50NS int64 `json:"diskGetP50NS"`
+}
+
+type s1Spill struct {
+	NBasis           int   `json:"nbasis"`
+	SpillBytes       int   `json:"spillBytes"`
+	ColdBuildNS      int64 `json:"coldBuildNS"`
+	WarmBuildNS      int64 `json:"warmBuildNS"`
+	WarmHits         int64 `json:"warmHits"`
+	WarmMisses       int64 `json:"warmMisses"`
+	BitwiseIdentical bool  `json:"bitwiseIdentical"`
+}
+
+type s1Fleet struct {
+	Submitted        int64   `json:"submitted"`
+	IsolatedHits     int64   `json:"isolatedHits"`
+	SharedHits       int64   `json:"sharedHits"`
+	IsolatedHitRatio float64 `json:"isolatedHitRatio"`
+	SharedHitRatio   float64 `json:"sharedHitRatio"`
+}
+
+type s1Gate struct {
+	Name string `json:"name"`
+	Pass bool   `json:"pass"`
+}
+
+func expS1(_, _ *hfxmd.MachineWorkload) {
+	root, err := os.MkdirTemp("", "hfxscale-s1-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(root)
+
+	rt := s1ResultTier{Trials: s1Trials}
+	req := server.JobRequest{Kind: server.KindSCF, System: "water"}
+
+	// Phase 1: service latency through a single-instance fleet.
+	storeDir := filepath.Join(root, "store")
+	c := s1Cluster(storeDir)
+	res, _, err := c.Submit(context.Background(), req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.State != server.StateDone || res.CacheHit {
+		log.Fatalf("cold job: %+v", res)
+	}
+	rt.ColdNS = int64(res.RunMS * 1e6) // server-measured execution, queue excluded
+
+	// Answer-materialization latency per tier: store Get + JobResult
+	// decode — the work a hit actually does, measured without the
+	// ~100x larger HTTP round-trip noise (an HTTP-level hit is still
+	// asserted on both boots).
+	key := "result:" + res.CacheKey // mirrors internal/server's namespace
+	materialize := func(st *store.Store) time.Duration {
+		t0 := time.Now()
+		b, ok := st.Get(key)
+		if !ok {
+			log.Fatalf("result %s lost from the store", key)
+		}
+		var jr server.JobResult
+		if err := json.Unmarshal(b, &jr); err != nil {
+			log.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	if r, _, err := c.Submit(context.Background(), req); err != nil || !r.CacheHit {
+		log.Fatalf("RAM-warm service hit: hit=%v err=%v", r != nil && r.CacheHit, err)
+	}
+	warm := make([]time.Duration, 0, s1Trials)
+	for i := 0; i < s1Trials; i++ {
+		warm = append(warm, materialize(c.Store()))
+	}
+	rt.RAMWarmP50NS = int64(median(warm))
+	if err := c.Close(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+
+	// Restart over the same directory; every trial drops the hot tier
+	// first so each read is served by the disk tier.
+	c = s1Cluster(storeDir)
+	if r, _, err := c.Submit(context.Background(), req); err != nil || !r.CacheHit {
+		log.Fatalf("disk-warm service hit after restart: hit=%v err=%v", r != nil && r.CacheHit, err)
+	}
+	disk := make([]time.Duration, 0, s1Trials)
+	for i := 0; i < s1Trials; i++ {
+		c.Store().DropHot()
+		disk = append(disk, materialize(c.Store()))
+	}
+	rt.DiskWarmP50NS = int64(median(disk))
+	if err := c.Close(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	rt.ColdOverDisk = float64(rt.ColdNS) / float64(max(rt.DiskWarmP50NS, 1))
+	rt.DiskOverRAM = float64(rt.DiskWarmP50NS) / float64(max(rt.RAMWarmP50NS, 1))
+
+	micro := s1MicroBench(filepath.Join(root, "micro"))
+	spill := s1SpillBench(filepath.Join(root, "spill"))
+	fl := s1FleetBench(filepath.Join(root, "fleet"))
+
+	gates := []s1Gate{
+		{"cold_slower_than_disk_warm", rt.ColdNS > rt.DiskWarmP50NS},
+		{"disk_warm_slower_than_ram_warm", rt.DiskWarmP50NS > rt.RAMWarmP50NS},
+		{"disk_get_slower_than_hot_get", micro.DiskP50NS > micro.HotP50NS},
+		{"spill_warm_bitwise_and_computes_nothing", spill.BitwiseIdentical && spill.WarmMisses == 0},
+		{"shared_store_raises_fleet_hit_ratio", fl.SharedHitRatio > fl.IsolatedHitRatio},
+	}
+
+	fmt.Printf("result tier (%d trials): cold %.3fms, RAM-warm p50 %.1fus, disk-warm p50 %.1fus (cold/disk %.0fx)\n",
+		rt.Trials, float64(rt.ColdNS)/1e6, float64(rt.RAMWarmP50NS)/1e3,
+		float64(rt.DiskWarmP50NS)/1e3, rt.ColdOverDisk)
+	fmt.Printf("store Get p50 (%d keys x %dB, %d ops/tier): hot %dns, disk %dns\n",
+		micro.Keys, micro.ValueSize, micro.Ops, micro.HotP50NS, micro.DiskP50NS)
+	fmt.Printf("ERI spill (n=%d, %d bytes): cold build %.3fms, warmed build %.3fms, %d hits / %d misses, bitwise=%v\n",
+		spill.NBasis, spill.SpillBytes, float64(spill.ColdBuildNS)/1e6,
+		float64(spill.WarmBuildNS)/1e6, spill.WarmHits, spill.WarmMisses, spill.BitwiseIdentical)
+	fmt.Printf("fleet of 2, %d submissions: hit ratio %.2f isolated -> %.2f shared\n",
+		fl.Submitted, fl.IsolatedHitRatio, fl.SharedHitRatio)
+	allPass := true
+	for _, g := range gates {
+		status := "PASS"
+		if !g.Pass {
+			status, allPass = "FAIL", false
+		}
+		fmt.Printf("gate %-42s %s\n", g.Name, status)
+	}
+
+	if s1Out != "" {
+		out := struct {
+			Experiment string       `json:"experiment"`
+			ResultTier s1ResultTier `json:"resultTier"`
+			MicroGet   s1Micro      `json:"microGet"`
+			ERISpill   s1Spill      `json:"eriSpill"`
+			Fleet      s1Fleet      `json:"fleet"`
+			Gates      []s1Gate     `json:"gates"`
+		}{"s1", rt, micro, spill, fl, gates}
+		b, err := json.MarshalIndent(out, "", " ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(s1Out, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", s1Out)
+	}
+	if !allPass {
+		log.Fatal("s1: acceptance gate failed")
+	}
+}
+
+func s1Cluster(storeDir string) *fleet.Cluster {
+	c, err := fleet.New(fleet.Options{
+		Instances: 1, Policy: fleet.RoundRobin, StoreDir: storeDir,
+		Server: server.Config{Workers: 1, QueueCap: 8},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}
+
+// s1MicroBench isolates the per-tier Get cost: medians over fixed-size
+// values, with the hot entry dropped before every disk-tier read.
+func s1MicroBench(dir string) s1Micro {
+	const keys, valSize = 64, 4096
+	st, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+	val := make([]byte, valSize)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	names := make([]string, keys)
+	for i := range names {
+		names[i] = fmt.Sprintf("micro:%04d", i)
+		if err := st.Put(names[i], val); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ops := 4 * keys
+	hot := make([]time.Duration, 0, ops)
+	for i := 0; i < ops; i++ {
+		k := names[i%keys]
+		t0 := time.Now()
+		if _, ok := st.Get(k); !ok {
+			log.Fatalf("hot get lost %s", k)
+		}
+		hot = append(hot, time.Since(t0))
+	}
+	diskd := make([]time.Duration, 0, ops)
+	for i := 0; i < ops; i++ {
+		k := names[i%keys]
+		st.DropHot()
+		t0 := time.Now()
+		if _, ok := st.Get(k); !ok {
+			log.Fatalf("disk get lost %s", k)
+		}
+		diskd = append(diskd, time.Since(t0))
+	}
+	return s1Micro{Keys: keys, ValueSize: valSize, Ops: ops,
+		HotP50NS: int64(median(hot)), DiskP50NS: int64(median(diskd))}
+}
+
+// s1SpillBench round-trips a filled ERI cache through the store and
+// proves the warmed builder computes nothing and drifts by nothing.
+func s1SpillBench(dir string) s1Spill {
+	st, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+	mol := chem.WaterCluster(s1Waters, 1)
+	opts := hfx.DefaultOptions()
+	opts.CacheBudgetBytes = 64 << 20
+	var n int
+	mk := func() *hfx.Builder {
+		eng := integrals.NewEngine(basis.MustBuild("STO-3G", mol))
+		scr := screen.BuildPairList(eng, screen.DefaultOptions())
+		n = eng.Basis.NBasis
+		return hfx.NewBuilder(eng, scr, opts)
+	}
+	donor := mk()
+	p := linalg.NewSquare(n)
+	for i := 0; i < n; i++ {
+		p.Set(i, i, 1)
+	}
+	t0 := time.Now()
+	jd, kd, _ := donor.BuildJK(p)
+	coldNS := time.Since(t0).Nanoseconds()
+	img := donor.ExportERICache()
+	if img == nil {
+		log.Fatal("s1: donor exported no spill image")
+	}
+	if err := st.Put(donor.SpillKey(), img); err != nil {
+		log.Fatal(err)
+	}
+	donor.Close()
+
+	warmed := mk()
+	defer warmed.Close()
+	b, ok := st.Get(warmed.SpillKey())
+	if !ok {
+		log.Fatal("s1: spill key missing from store")
+	}
+	if _, err := warmed.ImportERICache(b); err != nil {
+		log.Fatal(err)
+	}
+	t0 = time.Now()
+	jw, kw, rep := warmed.BuildJK(p)
+	warmNS := time.Since(t0).Nanoseconds()
+	return s1Spill{
+		NBasis:           n,
+		SpillBytes:       len(img),
+		ColdBuildNS:      coldNS,
+		WarmBuildNS:      warmNS,
+		WarmHits:         rep.Cache.Hits,
+		WarmMisses:       rep.Cache.Misses,
+		BitwiseIdentical: linalg.MaxAbsDiff(jd, jw) == 0 && linalg.MaxAbsDiff(kd, kw) == 0,
+	}
+}
+
+// s1FleetBench replays one repeated-job workload through a 2-instance
+// round-robin fleet twice: per-instance stores, then one shared store.
+// Three distinct systems over an even fleet means every repeat lands on
+// the other instance first — the case sharing is for.
+func s1FleetBench(dir string) s1Fleet {
+	systems := []string{"h2", "he", "lih"}
+	const rounds = 4
+	run := func(storeDir string) (hits, submitted int64) {
+		opts := fleet.Options{
+			Instances: 2, Policy: fleet.RoundRobin, StoreDir: storeDir,
+			Server: server.Config{Workers: 1, QueueCap: 8},
+		}
+		c, err := fleet.New(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close(context.Background())
+		for r := 0; r < rounds; r++ {
+			for _, sys := range systems {
+				res, _, err := c.Submit(context.Background(),
+					server.JobRequest{Kind: server.KindScreen, System: sys})
+				if err != nil || res.State != server.StateDone {
+					log.Fatalf("fleet %s: %v %+v", sys, err, res)
+				}
+			}
+		}
+		return c.Registry().Counter("fleet.cache_hits").Value(),
+			c.Registry().Counter("fleet.submitted").Value()
+	}
+	isoHits, n := run("") // per-instance memory stores
+	sharedHits, _ := run(filepath.Join(dir, "shared"))
+	return s1Fleet{
+		Submitted:        n,
+		IsolatedHits:     isoHits,
+		SharedHits:       sharedHits,
+		IsolatedHitRatio: float64(isoHits) / float64(n),
+		SharedHitRatio:   float64(sharedHits) / float64(n),
+	}
+}
+
+func median(d []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), d...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}

@@ -91,38 +91,50 @@ func WriteSnapshot(dir string, s *MDState, fsync bool) (string, error) {
 		buf = binary.LittleEndian.AppendUint32(buf, crcIEEE(p))
 		buf = append(buf, p...)
 	}
-
 	final := filepath.Join(dir, SnapshotName(s.Step))
-	tmp, err := os.CreateTemp(dir, ".snap-*.tmp")
-	if err != nil {
+	if err := AtomicWriteFile(dir, SnapshotName(s.Step), buf, fsync); err != nil {
 		return "", err
-	}
-	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
-	if _, err := tmp.Write(buf); err != nil {
-		tmp.Close()
-		return "", err
-	}
-	if fsync {
-		if err := tmp.Sync(); err != nil {
-			tmp.Close()
-			return "", err
-		}
-	}
-	if err := tmp.Close(); err != nil {
-		return "", err
-	}
-	if err := os.Rename(tmp.Name(), final); err != nil {
-		return "", err
-	}
-	if fsync {
-		syncDir(dir)
 	}
 	return final, nil
 }
 
-// syncDir fsyncs a directory so a rename is durable; best-effort on
+// AtomicWriteFile durably writes name inside dir with the crash-safe
+// sequence every on-disk artifact here uses: temp file in the same
+// directory, fsync, atomic rename, directory fsync. Readers never see a
+// partial file; a crash leaves either the old content or the new. It is
+// exported because the content-addressed store (internal/store) seals
+// its meta files with the same machinery.
+func AtomicWriteFile(dir, name string, data []byte, fsync bool) error {
+	tmp, err := os.CreateTemp(dir, "."+name+"-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if fsync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	if fsync {
+		SyncDir(dir)
+	}
+	return nil
+}
+
+// SyncDir fsyncs a directory so a rename is durable; best-effort on
 // filesystems that reject directory fsync.
-func syncDir(dir string) {
+func SyncDir(dir string) {
 	if d, err := os.Open(dir); err == nil {
 		d.Sync()
 		d.Close()

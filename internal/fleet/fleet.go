@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hfxmd/internal/server"
+	"hfxmd/internal/store"
 	"hfxmd/internal/trace"
 )
 
@@ -39,6 +40,14 @@ type Options struct {
 	// caps a single wait (default 2s).
 	BackoffScale float64
 	MaxBackoff   time.Duration
+	// StoreDir, when set, opens ONE shared tiered store and injects it
+	// into every instance (server.Config.Store): a result computed by
+	// any instance is a cache hit on all of them, prefix densities and
+	// ERI spills are fleet-wide, and everything survives restarts. The
+	// cluster owns the store and closes it after the instances drain.
+	// (Do not instead set Server.StoreDir on the template: N stores
+	// appending to one active segment would corrupt it.)
+	StoreDir string
 	// Registry receives the router's counters (fleet.*); one is created
 	// when nil.
 	Registry *trace.Registry
@@ -93,6 +102,7 @@ type Cluster struct {
 	opts  Options
 	insts []*Instance
 	reg   *trace.Registry
+	store *store.Store // shared across instances when Options.StoreDir is set
 
 	cursor atomic.Int64 // round-robin state
 
@@ -111,6 +121,19 @@ func New(opts Options) (*Cluster, error) {
 			len(opts.WorkersPerInstance), opts.Instances)
 	}
 	c := &Cluster{opts: opts, reg: opts.Registry, prices: make(map[string]float64)}
+	if opts.StoreDir != "" {
+		st, err := store.Open(store.Options{
+			Dir:      opts.StoreDir,
+			HotBytes: opts.Server.CacheBytes,
+			Registry: opts.Registry,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: shared store: %w", err)
+		}
+		c.store = st
+		opts.Server.Store = st
+		c.opts = opts
+	}
 	for _, name := range []string{
 		"fleet.submitted", "fleet.cache_hits", "fleet.failover_draining",
 		"fleet.rejected_busy", "fleet.retry_sweeps",
@@ -150,6 +173,9 @@ func New(opts Options) (*Cluster, error) {
 
 // Instances exposes the booted instances (index-stable).
 func (c *Cluster) Instances() []*Instance { return c.insts }
+
+// Store exposes the shared tiered store (nil unless Options.StoreDir).
+func (c *Cluster) Store() *store.Store { return c.store }
 
 // Registry exposes the router's metrics registry.
 func (c *Cluster) Registry() *trace.Registry { return c.reg }
@@ -192,6 +218,14 @@ func (c *Cluster) Close(ctx context.Context) error {
 		}(inst)
 	}
 	wg.Wait()
+	// The instances share the store; close it only after every one of
+	// them has drained.
+	if c.store != nil {
+		if err := c.store.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("fleet: shared store: %w", err)
+		}
+		c.store = nil
+	}
 	return firstErr
 }
 

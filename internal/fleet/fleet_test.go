@@ -344,3 +344,59 @@ func waitFor(t *testing.T, msg string, cond func() bool) {
 	}
 	t.Fatalf("condition never became true: %s", msg)
 }
+
+// TestClusterSharedStoreCrossInstanceHits pins the fleet-wide store:
+// with Options.StoreDir, a result computed by one instance is a cache
+// hit on every other instance, and a freshly booted cluster over the
+// same directory answers from the disk tier.
+func TestClusterSharedStoreCrossInstanceHits(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	c := mustCluster(t, Options{
+		Instances: 2, Policy: RoundRobin, StoreDir: dir,
+		Server: server.Config{Workers: 1, QueueCap: 8},
+	})
+	if c.Store() == nil {
+		t.Fatal("cluster did not open the shared store")
+	}
+	r1, i1, err := c.Submit(ctx, screenReq("h2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.State != server.StateDone || r1.CacheHit {
+		t.Fatalf("first submission: %+v", r1)
+	}
+	// Round-robin sends the repeat to the OTHER instance, which must
+	// still hit: the store is shared, not per-instance.
+	r2, i2, err := c.Submit(ctx, screenReq("h2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i2 == i1 {
+		t.Fatalf("round-robin repeated instance %d; cannot prove sharing", i2)
+	}
+	if !r2.CacheHit {
+		t.Fatal("second instance missed the shared store")
+	}
+	if got := c.Registry().Counter("fleet.cache_hits").Value(); got != 1 {
+		t.Fatalf("fleet.cache_hits = %d, want 1", got)
+	}
+
+	// Restart the whole fleet over the same directory: disk-warm hit.
+	closeCtx, cancel := context.WithTimeout(ctx, 20*time.Second)
+	defer cancel()
+	if err := c.Close(closeCtx); err != nil {
+		t.Fatal(err)
+	}
+	c2 := mustCluster(t, Options{
+		Instances: 2, Policy: RoundRobin, StoreDir: dir,
+		Server: server.Config{Workers: 1, QueueCap: 8},
+	})
+	r3, _, err := c2.Submit(ctx, screenReq("h2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.CacheHit {
+		t.Fatal("rebooted fleet missed the disk tier")
+	}
+}

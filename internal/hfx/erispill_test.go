@@ -1,0 +1,150 @@
+package hfx
+
+import (
+	"testing"
+
+	"hfxmd/internal/chem"
+	"hfxmd/internal/linalg"
+)
+
+// TestSpillWarmBitwiseIdentical is the acceptance pin for ERI spill: a
+// cold builder warmed from another builder's exported cache image must
+// replay on its first build (zero integral evaluations for admitted
+// quartets) and produce J/K bitwise identical to a direct build.
+func TestSpillWarmBitwiseIdentical(t *testing.T) {
+	eng, scr := setup(t, chem.WaterCluster(3, 1), 1e-8)
+	p := testDensity(eng.Basis.NBasis, 1)
+	opts := DefaultOptions()
+	direct := NewBuilder(eng, scr, opts)
+	defer direct.Close()
+	jd, kd, _ := direct.BuildJK(p)
+
+	opts.CacheBudgetBytes = 256 << 20
+	hot := NewBuilder(eng, scr, opts)
+	_, _, repHot := hot.BuildJK(p) // fill every surviving quartet
+	img := hot.ExportERICache()
+	if img == nil {
+		t.Fatal("ExportERICache returned nil for a filled cache")
+	}
+	key := hot.SpillKey()
+	if key == "" {
+		t.Fatal("SpillKey empty for a semi-direct builder")
+	}
+	hot.Close() // the evicted-builder scenario: pool gone, image survives
+
+	cold := NewBuilder(eng, scr, opts)
+	defer cold.Close()
+	if cold.SpillKey() != key {
+		t.Fatalf("spill key not reproducible: %s vs %s", cold.SpillKey(), key)
+	}
+	warmed, err := cold.ImportERICache(img)
+	if err != nil {
+		t.Fatalf("ImportERICache: %v", err)
+	}
+	if warmed != repHot.Cache.ResidentBlocks {
+		t.Fatalf("warmed %d blocks, exporter had %d resident", warmed, repHot.Cache.ResidentBlocks)
+	}
+	jw, kw, repWarm := cold.BuildJK(p)
+	if repWarm.Cache.Misses != 0 {
+		t.Fatalf("warmed builder's first build missed %d quartets", repWarm.Cache.Misses)
+	}
+	if repWarm.Cache.Hits != repHot.QuartetsComputed {
+		t.Fatalf("warmed hits %d, want %d", repWarm.Cache.Hits, repHot.QuartetsComputed)
+	}
+	if diff := linalg.MaxAbsDiff(jd, jw); diff != 0 {
+		t.Fatalf("spill-warmed J vs direct diff %g, want bitwise 0", diff)
+	}
+	if diff := linalg.MaxAbsDiff(kd, kw); diff != 0 {
+		t.Fatalf("spill-warmed K vs direct diff %g, want bitwise 0", diff)
+	}
+	if got := repWarm.Metrics.Counter("ericache.warmed_blocks").Value(); got != warmed {
+		t.Fatalf("ericache.warmed_blocks = %d, want %d", got, warmed)
+	}
+}
+
+// TestSpillKeyIndependentOfDensity: the spill key addresses the
+// (basis, shell-pair list, screening, admission) layout only — two
+// builders over the same inputs agree regardless of any density or SCF
+// setting, while a different geometry or budget changes the key.
+func TestSpillKeyDiscriminates(t *testing.T) {
+	eng, scr := setup(t, chem.WaterCluster(2, 1), 1e-8)
+	opts := DefaultOptions()
+	opts.CacheBudgetBytes = 64 << 20
+	b1 := NewBuilder(eng, scr, opts)
+	defer b1.Close()
+	b2 := NewBuilder(eng, scr, opts)
+	defer b2.Close()
+	if b1.SpillKey() != b2.SpillKey() {
+		t.Fatalf("same inputs, different spill keys: %s vs %s", b1.SpillKey(), b2.SpillKey())
+	}
+
+	// Different geometry → different pair list → different key.
+	eng3, scr3 := setup(t, chem.WaterCluster(3, 1), 1e-8)
+	b3 := NewBuilder(eng3, scr3, opts)
+	defer b3.Close()
+	if b3.SpillKey() == b1.SpillKey() {
+		t.Fatal("different geometry reused the spill key")
+	}
+
+	// Different budget → different admission layout → different key.
+	opts4 := opts
+	opts4.CacheBudgetBytes = 1 << 20
+	b4 := NewBuilder(eng, scr, opts4)
+	defer b4.Close()
+	if b4.SpillKey() == b1.SpillKey() {
+		t.Fatal("different budget reused the spill key")
+	}
+
+	// Fully direct builder has no spill identity.
+	b5 := NewBuilder(eng, scr, DefaultOptions())
+	defer b5.Close()
+	if b5.SpillKey() != "" {
+		t.Fatalf("direct builder spill key = %q, want empty", b5.SpillKey())
+	}
+}
+
+// TestSpillImportRejectsMismatch: an image from a different layout must
+// be rejected wholesale, leaving the importing cache untouched.
+func TestSpillImportRejectsMismatch(t *testing.T) {
+	engA, scrA := setup(t, chem.WaterCluster(2, 1), 1e-8)
+	engB, scrB := setup(t, chem.WaterCluster(3, 1), 1e-8)
+	opts := DefaultOptions()
+	opts.CacheBudgetBytes = 64 << 20
+	a := NewBuilder(engA, scrA, opts)
+	defer a.Close()
+	a.BuildJK(testDensity(engA.Basis.NBasis, 1))
+	img := a.ExportERICache()
+
+	b := NewBuilder(engB, scrB, opts)
+	defer b.Close()
+	if _, err := b.ImportERICache(img); err == nil {
+		t.Fatal("cross-geometry import must fail")
+	}
+	if _, err := b.ImportERICache(img[:16]); err == nil {
+		t.Fatal("truncated image must fail")
+	}
+	if _, err := b.ImportERICache([]byte("not a spill")); err == nil {
+		t.Fatal("garbage image must fail")
+	}
+	_, _, rep := b.BuildJK(testDensity(engB.Basis.NBasis, 1))
+	if rep.Cache.Hits != 0 {
+		t.Fatalf("rejected import leaked %d resident blocks", rep.Cache.Hits)
+	}
+}
+
+// TestSpillEmptyExport: a cold cache exports nothing.
+func TestSpillEmptyExport(t *testing.T) {
+	eng, scr := setup(t, chem.WaterCluster(2, 1), 1e-8)
+	opts := DefaultOptions()
+	opts.CacheBudgetBytes = 64 << 20
+	b := NewBuilder(eng, scr, opts)
+	defer b.Close()
+	if img := b.ExportERICache(); img != nil {
+		t.Fatalf("cold cache exported %d bytes", len(img))
+	}
+	d := NewBuilder(eng, scr, DefaultOptions())
+	defer d.Close()
+	if img := d.ExportERICache(); img != nil {
+		t.Fatal("direct builder exported a cache image")
+	}
+}

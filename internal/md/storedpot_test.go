@@ -1,0 +1,64 @@
+package md
+
+import (
+	"math"
+	"testing"
+
+	"hfxmd/internal/chem"
+	"hfxmd/internal/scf"
+	"hfxmd/internal/store"
+)
+
+func TestStoredSCFPotentialSeedsRepeatCalls(t *testing.T) {
+	st, err := store.Open(store.Options{}) // memory-only
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	cfg := scf.Config{Basis: "STO-3G"}
+	cold := SCFPotential(cfg)
+	pot := StoredSCFPotential(cfg, st)
+
+	mol := chem.Hydrogen(1.5)
+	eCold, err := cold(mol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := pot(mol) // cold: nothing stored yet
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded := st.Registry().Counter("md.density_seeded").Value(); seeded != 0 {
+		t.Fatalf("first call seeded from an empty store (%d)", seeded)
+	}
+	if e1 != eCold {
+		t.Fatalf("unseeded stored potential diverged: %g vs %g", e1, eCold)
+	}
+
+	// Perturbed geometry (an MD step): same composition prefix, so the
+	// stored density seeds it; energies agree to SCF tolerance.
+	mol2 := chem.Hydrogen(1.52)
+	e2, err := pot(mol2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eCold2, err := cold(mol2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded := st.Registry().Counter("md.density_seeded").Value(); seeded != 1 {
+		t.Fatalf("md.density_seeded = %d, want 1", seeded)
+	}
+	if math.Abs(e2-eCold2) > 1e-8 {
+		t.Fatalf("seeded energy %g drifted from cold %g", e2, eCold2)
+	}
+
+	// A nil store degrades to the plain potential.
+	eNil, err := StoredSCFPotential(cfg, nil)(mol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eNil != eCold {
+		t.Fatalf("nil-store potential diverged: %g vs %g", eNil, eCold)
+	}
+}

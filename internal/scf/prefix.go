@@ -1,0 +1,43 @@
+package scf
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"hfxmd/internal/chem"
+)
+
+// DensityPrefixKey fingerprints the part of a calculation that a stored
+// converged density can seed: the model chemistry (basis, functional,
+// screening threshold, density weighting) plus the system's charge and
+// element composition. Atomic positions are deliberately excluded —
+// geometries that differ only in coordinates (solvent-scan points, MD
+// steps) share the key, which is exactly the partial-hit prefix reuse
+// the tiered store exploits: the stored density of a neighbouring
+// geometry becomes Config.InitialDensity for the next one.
+//
+// Sharing the key guarantees matching basis dimensions (same elements,
+// same basis set ⇒ same NBasis), so a decoded density always fits.
+func DensityPrefixKey(cfg Config, mol *chem.Molecule) string {
+	cfg.fillDefaults()
+	h := sha256.New()
+	fmt.Fprintf(h, "basis=%s;func=%s;screen=%g;dw=%v;charge=%d;",
+		cfg.Basis, cfg.Functional.Name(), cfg.Screen.Threshold,
+		cfg.HFX.DensityWeighted, mol.Charge)
+	counts := map[chem.Element]int{}
+	for _, a := range mol.Atoms {
+		counts[a.El]++
+	}
+	els := make([]int, 0, len(counts))
+	for el := range counts {
+		els = append(els, int(el))
+	}
+	sort.Ints(els)
+	for _, el := range els {
+		fmt.Fprintf(h, "%d:%d;", el, counts[chem.Element(el)])
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}

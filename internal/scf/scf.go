@@ -58,6 +58,13 @@ type Config struct {
 	// Guess selects the starting density: "sad" (superposition of atomic
 	// densities, the default) or "core" (diagonalised core Hamiltonian).
 	Guess string
+	// InitialDensity, when non-nil, overrides Guess with an explicit
+	// starting density (row-major n×n, matching the built basis). This is
+	// the prefix-reuse path: a converged density stored for a related
+	// geometry (a neighbouring scan point or MD step) restarts SCF close
+	// to the solution, typically pairing with Incremental so the first
+	// rebuilt ΔP is already small. The matrix is cloned, not aliased.
+	InitialDensity *linalg.Matrix
 	// Incremental enables difference-density Fock builds: after the first
 	// iteration J and K are updated with ΔP = P − P_prev instead of being
 	// rebuilt from scratch. Combined with density-weighted screening this
@@ -206,11 +213,17 @@ func Run(mol *chem.Molecule, cfg Config) (*Result, error) {
 
 	var c *linalg.Matrix
 	var eps []float64
-	switch cfg.Guess {
-	case "core":
+	switch {
+	case cfg.InitialDensity != nil:
+		if cfg.InitialDensity.Rows != n || cfg.InitialDensity.Cols != n {
+			return nil, fmt.Errorf("scf: initial density is %dx%d, basis needs %dx%d",
+				cfg.InitialDensity.Rows, cfg.InitialDensity.Cols, n, n)
+		}
+		p.CopyFrom(cfg.InitialDensity)
+	case cfg.Guess == "core":
 		c, eps = solveFock(h, x)
 		buildDensity(p, c, nocc)
-	case "sad":
+	case cfg.Guess == "sad":
 		sadGuess(set, p)
 	default:
 		return nil, fmt.Errorf("scf: unknown guess %q (want sad or core)", cfg.Guess)

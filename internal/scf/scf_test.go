@@ -464,3 +464,40 @@ func TestRunContextUHF(t *testing.T) {
 		t.Fatal("UHF must stop before the first iteration when pre-cancelled")
 	}
 }
+
+// TestInitialDensityGuess pins the prefix-reuse path: restarting water
+// from its own converged density must converge to the same energy in
+// fewer iterations than the SAD cold start, and a wrong-sized initial
+// density must be rejected before any iteration runs.
+func TestInitialDensityGuess(t *testing.T) {
+	mol := chem.Water()
+	cold, err := Run(mol, Config{})
+	if err != nil || !cold.Converged {
+		t.Fatalf("cold run: %v (converged=%v)", err, cold != nil && cold.Converged)
+	}
+	warm, err := Run(mol, Config{InitialDensity: cold.P, Incremental: true})
+	if err != nil || !warm.Converged {
+		t.Fatalf("warm run: %v", err)
+	}
+	if math.Abs(warm.Energy-cold.Energy) > 1e-8 {
+		t.Fatalf("warm energy %.10f, cold %.10f", warm.Energy, cold.Energy)
+	}
+	if warm.Iterations >= cold.Iterations {
+		t.Fatalf("converged-density restart took %d iterations, cold start %d",
+			warm.Iterations, cold.Iterations)
+	}
+	// The stored matrix must be cloned, not aliased, so the caller's copy
+	// survives the run untouched.
+	before := cold.P.Clone()
+	if _, err := Run(mol, Config{InitialDensity: cold.P, MaxIter: 2, EnergyTol: 1e-14, CommutatorTol: 1e-14}); err != nil {
+		t.Fatal(err)
+	}
+	if diff := linalg.MaxAbsDiff(before, cold.P); diff != 0 {
+		t.Fatalf("InitialDensity was mutated by the run (diff %g)", diff)
+	}
+
+	bad := linalg.NewSquare(3)
+	if _, err := Run(mol, Config{InitialDensity: bad}); err == nil {
+		t.Fatal("dimension-mismatched initial density must be rejected")
+	}
+}

@@ -46,7 +46,7 @@ func TestServerTracksInflightCost(t *testing.T) {
 	block := make(chan struct{})
 	running := make(chan string, 1)
 	s := mustNew(t, Config{
-		Workers: 1, QueueCap: 1, CacheCap: -1,
+		Workers: 1, QueueCap: 1, CacheBytes: -1,
 		BeforeRun: func(kind string) { running <- kind; <-block },
 	})
 	ts := httptest.NewServer(s.Handler())
@@ -95,7 +95,7 @@ func TestClientDrainingErrorTyped(t *testing.T) {
 	block := make(chan struct{})
 	running := make(chan string, 1)
 	s := mustNew(t, Config{
-		Workers: 1, CacheCap: -1,
+		Workers: 1, CacheBytes: -1,
 		BeforeRun: func(kind string) { running <- kind; <-block },
 	})
 	ts := httptest.NewServer(s.Handler())
@@ -138,7 +138,7 @@ func TestClientSubmitRetryWaitsOutBusy(t *testing.T) {
 	block := make(chan struct{})
 	running := make(chan string, 1)
 	s := mustNew(t, Config{
-		Workers: 1, QueueCap: 1, CacheCap: -1,
+		Workers: 1, QueueCap: 1, CacheBytes: -1,
 		BeforeRun: func(kind string) {
 			select {
 			case running <- kind:

@@ -1,86 +1,73 @@
 package server
 
 import (
-	"container/list"
-	"sync"
+	"encoding/json"
+
+	"hfxmd/internal/store"
 )
 
-// lruCache is the result cache: canonical job hash → finished JobResult.
-// A hit answers a repeated job without queueing it or touching a
-// builder. Only successfully completed (state done) results are stored;
-// eviction is least-recently-used by entry count. A capacity of 0
-// disables the cache.
-type lruCache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+// Store key namespaces. One store directory holds three kinds of
+// content-addressed entries, distinguished by prefix: finished job
+// results, converged densities for prefix reuse, and spilled ERI cache
+// images (whose "eri:" prefix is minted by hfx.Builder.SpillKey).
+const (
+	resultKeyPrefix  = "result:"
+	densityKeyPrefix = "density:"
+)
+
+// resultCache adapts the tiered content-addressed store to the server's
+// result cache: canonical job hash → JSON-encoded finished JobResult.
+// The store's byte-budgeted hot tier replaces the old entry-count LRU
+// (results vary ~100× in payload size, so an entry count left worst-case
+// memory unbounded), and its disk tier is what lets canonical results
+// survive restarts and be shared across fleet instances pointing at one
+// store directory.
+type resultCache struct {
+	st *store.Store
 }
 
-type cacheEntry struct {
-	key string
-	res JobResult // stored by value; payload pointers are never mutated
-}
-
-func newLRUCache(capacity int) *lruCache {
-	return &lruCache{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[string]*list.Element),
-	}
-}
-
-// get returns the cached result for key, marking it most recently used.
-func (c *lruCache) get(key string) (JobResult, bool) {
-	if c.cap <= 0 {
-		return JobResult{}, false
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
+// get returns the cached result for key, marking it hot. A result read
+// from the disk tier decodes like a fresh one — the disk-warm hit that
+// answers a repeated job after a restart with zero builder work.
+func (c *resultCache) get(key string) (JobResult, bool) {
+	b, ok := c.st.Get(resultKeyPrefix + key)
 	if !ok {
 		return JobResult{}, false
 	}
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
+	var res JobResult
+	if err := json.Unmarshal(b, &res); err != nil {
+		return JobResult{}, false
+	}
+	return res, true
 }
 
-// put stores a finished result, evicting the least recently used entry
-// when over capacity.
-func (c *lruCache) put(key string, res JobResult) {
-	if c.cap <= 0 {
+// put stores a finished result in both tiers.
+func (c *resultCache) put(key string, res JobResult) {
+	b, err := json.Marshal(res)
+	if err != nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).res = res
-		c.ll.MoveToFront(el)
-		return
-	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
-	for c.ll.Len() > c.cap {
-		last := c.ll.Back()
-		c.ll.Remove(last)
-		delete(c.items, last.Value.(*cacheEntry).key)
-	}
+	c.st.Put(resultKeyPrefix+key, b)
 }
 
-// contains reports whether key is cached without refreshing its LRU
-// position: an affinity probe must not make an entry look hot.
-func (c *lruCache) contains(key string) bool {
-	if c.cap <= 0 {
-		return false
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, ok := c.items[key]
-	return ok
+// contains reports whether either tier holds the key without refreshing
+// its hot-tier position: an affinity probe must not make an entry look
+// hot.
+func (c *resultCache) contains(key string) bool {
+	return c.st.Contains(resultKeyPrefix + key)
 }
 
-// len returns the number of cached entries.
-func (c *lruCache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+// entries counts the addressable keys (all namespaces): the disk index
+// when a disk tier exists, the hot tier otherwise.
+func (c *resultCache) entries() int {
+	st := c.st.Stats()
+	if c.st.Dir() != "" {
+		return st.DiskEntries
+	}
+	return st.HotEntries
+}
+
+// bytes is the hot-tier resident size — the cache.bytes gauge.
+func (c *resultCache) bytes() int64 {
+	return c.st.Stats().HotBytes
 }

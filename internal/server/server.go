@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
@@ -14,9 +15,11 @@ import (
 	"hfxmd/internal/chem"
 	"hfxmd/internal/dft"
 	"hfxmd/internal/hfx"
+	"hfxmd/internal/linalg"
 	"hfxmd/internal/mprt"
 	"hfxmd/internal/scf"
 	"hfxmd/internal/screen"
+	"hfxmd/internal/store"
 	"hfxmd/internal/trace"
 )
 
@@ -29,9 +32,22 @@ type Config struct {
 	// QueueCap bounds the admission queue; a full queue answers 429 with
 	// Retry-After (default 64).
 	QueueCap int
-	// CacheCap bounds the LRU result cache in entries; a negative value
-	// disables caching (default 256).
-	CacheCap int
+	// CacheBytes is the byte budget of the result store's hot in-memory
+	// tier (default 64 MiB). Results vary ~100× in payload size, so the
+	// budget is bytes, not entries. A negative value disables the hot
+	// tier — with no StoreDir that disables caching entirely.
+	CacheBytes int64
+	// StoreDir, if non-empty, adds a disk tier under the hot one: every
+	// finished canonical result, converged prefix density and spilled ERI
+	// cache image is persisted there, so a restarted server (or another
+	// fleet instance pointing at the same directory) answers repeated
+	// jobs from disk with zero builder work. Must be a different
+	// directory from the journal's.
+	StoreDir string
+	// Store, if non-nil, is an externally owned store shared with other
+	// server instances (the fleet wiring). It overrides CacheBytes and
+	// StoreDir; the server does not close it.
+	Store *store.Store
 	// BuilderThreads is the HFX thread count per builder. The default 1
 	// is right for a worker-parallel server: concurrency comes from jobs,
 	// not from intra-build threads.
@@ -64,9 +80,6 @@ func (c *Config) fillDefaults() {
 	if c.QueueCap == 0 {
 		c.QueueCap = 64
 	}
-	if c.CacheCap == 0 {
-		c.CacheCap = 256
-	}
 	if c.BuilderThreads == 0 {
 		c.BuilderThreads = 1
 	}
@@ -88,9 +101,14 @@ func (c *Config) fillDefaults() {
 type Server struct {
 	cfg   Config
 	reg   *trace.Registry
-	cache *lruCache
-	q     *queue
-	mux   *http.ServeMux
+	store *store.Store
+	cache *resultCache
+	// ownStore marks a store opened by New (from CacheBytes/StoreDir)
+	// rather than injected via Config.Store; only an owned store is
+	// closed on shutdown.
+	ownStore bool
+	q        *queue
+	mux      *http.ServeMux
 
 	journal *jobJournal // nil unless Config.JournalPath is set
 
@@ -116,14 +134,38 @@ var latencyEdgesMS = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500,
 // before the workers start; the only error paths are journal I/O.
 func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
+	if cfg.StoreDir != "" && cfg.JournalPath != "" {
+		// Segment files and journal frames must not interleave in one
+		// directory: boot-time scans of each would trip over the other's
+		// files, and journal compaction renames could collide with segment
+		// rotation.
+		if filepath.Clean(cfg.StoreDir) == filepath.Clean(filepath.Dir(cfg.JournalPath)) {
+			return nil, fmt.Errorf("server: store dir and journal dir must be distinct (both %q)",
+				filepath.Clean(cfg.StoreDir))
+		}
+	}
 	s := &Server{
 		cfg:   cfg,
 		reg:   trace.NewRegistry(),
-		cache: newLRUCache(cfg.CacheCap),
 		q:     newQueue(cfg.QueueCap),
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 	}
+	if cfg.Store != nil {
+		s.store = cfg.Store
+	} else {
+		st, err := store.Open(store.Options{
+			Dir:      cfg.StoreDir,
+			HotBytes: cfg.CacheBytes,
+			Registry: s.reg,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: open result store: %w", err)
+		}
+		s.store = st
+		s.ownStore = true
+	}
+	s.cache = &resultCache{st: s.store}
 	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("/v1/systems", s.handleSystems)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -135,10 +177,16 @@ func New(cfg Config) (*Server, error) {
 		"cache.hits", "cache.misses", "builders.created", "builders.reused",
 		"journal.appends", "journal.bytes", "journal.replayed",
 		"journal.compactions", "journal.append_errors", "journal.replay_dropped",
+		"eri.spills", "eri.spill_bytes", "eri.warmed_builders", "eri.warmed_blocks",
+		"prefix.density_hits", "prefix.density_misses", "prefix.density_stored",
+		// Pre-created so a restarted server that answers everything from
+		// the store visibly reports zero Fock builds (the smoke test's
+		// disk-warm assertion).
+		"hfx.fock_builds",
 	} {
 		s.reg.Counter(c)
 	}
-	for _, g := range []string{"jobs.queued", "jobs.running", "builders.open", "cache.entries"} {
+	for _, g := range []string{"jobs.queued", "jobs.running", "builders.open", "cache.entries", "cache.bytes"} {
 		s.reg.Gauge(g)
 	}
 	if cfg.JournalPath != "" {
@@ -261,14 +309,25 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	go func() { s.workerWG.Wait(); close(done) }()
 	select {
 	case <-done:
+		var err error
 		if s.journal != nil {
-			return s.journal.close()
+			err = s.journal.close()
 		}
-		return nil
+		if s.ownStore {
+			if cerr := s.store.Close(); err == nil {
+				err = cerr
+			}
+		}
+		return err
 	case <-ctx.Done():
 		return ctx.Err()
 	}
 }
+
+// Store exposes the server's result store (shared with fleet wiring and
+// tests). With Config.Store it is the injected instance; otherwise it is
+// owned by the server and closed on Shutdown.
+func (s *Server) Store() *store.Store { return s.store }
 
 // ---------------------------------------------------------------------------
 // Worker pool.
@@ -284,37 +343,79 @@ type workerState struct {
 	prep    *prepared
 }
 
-// close releases the cached builders, if any.
-func (st *workerState) close(reg *trace.Registry) {
+// close releases the cached builders, if any, spilling the semi-direct
+// ERI cache to the store first: builder eviction is exactly when the
+// integral work it holds would otherwise be lost.
+func (st *workerState) close(s *Server) {
 	if st.builder != nil {
+		s.spillERI(st.builder)
 		st.builder.Close()
 		st.builder = nil
-		reg.Gauge("builders.open").Add(-1)
+		s.reg.Gauge("builders.open").Add(-1)
 	}
 	if st.dist != nil {
 		st.dist.Close()
 		st.dist = nil
-		reg.Gauge("builders.open").Add(-1)
+		s.reg.Gauge("builders.open").Add(-1)
 	}
 }
 
+// spillERI serializes a builder's resident ERI blocks under its layout
+// hash, so a future builder over the same (basis, shell-pair list,
+// screening) warms from disk instead of recomputing the integrals.
+func (s *Server) spillERI(b *hfx.Builder) {
+	key := b.SpillKey()
+	if key == "" {
+		return
+	}
+	img := b.ExportERICache()
+	if img == nil {
+		return
+	}
+	if err := s.store.Put(key, img); err == nil {
+		s.reg.Counter("eri.spills").Add(1)
+		s.reg.Counter("eri.spill_bytes").Add(int64(len(img)))
+	}
+}
+
+// warmERI restores a spilled ERI cache image into a freshly created
+// builder, when the store holds one for its layout hash.
+func (s *Server) warmERI(b *hfx.Builder) {
+	key := b.SpillKey()
+	if key == "" {
+		return
+	}
+	img, ok := s.store.Get(key)
+	if !ok {
+		return
+	}
+	n, err := b.ImportERICache(img)
+	if err != nil {
+		return
+	}
+	s.reg.Counter("eri.warmed_builders").Add(1)
+	s.reg.Counter("eri.warmed_blocks").Add(n)
+}
+
 // builderFor returns a builder for the job's prepared state, reusing the
-// cached one when the builder key matches.
-func (st *workerState) builderFor(j *job, threads int, reg *trace.Registry) *hfx.Builder {
+// cached one when the builder key matches. A replacement builder with a
+// semi-direct cache is warmed from any spilled image in the store.
+func (st *workerState) builderFor(j *job, s *Server) *hfx.Builder {
 	if st.builder != nil && st.key == j.prep.builderKey {
-		reg.Counter("builders.reused").Add(1)
+		s.reg.Counter("builders.reused").Add(1)
 		return st.builder
 	}
-	st.close(reg)
+	st.close(s)
 	opts := hfx.DefaultOptions()
-	opts.Threads = threads
+	opts.Threads = s.cfg.BuilderThreads
 	opts.DensityWeighted = *j.req.DensityWeighted
 	opts.CacheBudgetBytes = int64(j.req.CacheMB) << 20
 	st.builder = hfx.NewBuilder(j.prep.eng, j.prep.scr, opts)
 	st.key = j.prep.builderKey
 	st.prep = j.prep
-	reg.Counter("builders.created").Add(1)
-	reg.Gauge("builders.open").Add(1)
+	s.reg.Counter("builders.created").Add(1)
+	s.reg.Gauge("builders.open").Add(1)
+	s.warmERI(st.builder)
 	return st.builder
 }
 
@@ -323,12 +424,12 @@ func (st *workerState) builderFor(j *job, threads int, reg *trace.Registry) *hfx
 // count, so single-rank and distributed builders never collide). The
 // distributed build is bitwise identical to the single-rank one; only
 // the wall-time decomposition and the traffic metrics change.
-func (st *workerState) distBuilderFor(j *job, reg *trace.Registry) (*hfx.DistBuilder, error) {
+func (st *workerState) distBuilderFor(j *job, s *Server) (*hfx.DistBuilder, error) {
 	if st.dist != nil && st.key == j.prep.builderKey {
-		reg.Counter("builders.reused").Add(1)
+		s.reg.Counter("builders.reused").Add(1)
 		return st.dist, nil
 	}
-	st.close(reg)
+	st.close(s)
 	opts := hfx.DefaultOptions()
 	opts.DensityWeighted = *j.req.DensityWeighted
 	d, err := hfx.NewDistBuilder(j.prep.eng, j.prep.scr, hfx.DistOptions{
@@ -342,8 +443,8 @@ func (st *workerState) distBuilderFor(j *job, reg *trace.Registry) (*hfx.DistBui
 	st.dist = d
 	st.key = j.prep.builderKey
 	st.prep = j.prep
-	reg.Counter("builders.created").Add(1)
-	reg.Gauge("builders.open").Add(1)
+	s.reg.Counter("builders.created").Add(1)
+	s.reg.Gauge("builders.open").Add(1)
 	return d, nil
 }
 
@@ -352,7 +453,7 @@ func (st *workerState) distBuilderFor(j *job, reg *trace.Registry) (*hfx.DistBui
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	var st workerState
-	defer st.close(s.reg)
+	defer st.close(s)
 	for {
 		j, ok := s.q.pop()
 		if !ok {
@@ -395,7 +496,8 @@ func (s *Server) finish(j *job, res *JobResult) {
 	case StateDone:
 		s.reg.Counter("jobs.done").Add(1)
 		s.cache.put(j.key, *res)
-		s.reg.Gauge("cache.entries").Set(int64(s.cache.len()))
+		s.reg.Gauge("cache.entries").Set(int64(s.cache.entries()))
+		s.reg.Gauge("cache.bytes").Set(s.cache.bytes())
 	case StateFailed:
 		s.reg.Counter("jobs.failed").Add(1)
 	case StateCancelled:
@@ -452,8 +554,40 @@ func (s *Server) scfConfig(req *JobRequest) scf.Config {
 	}
 }
 
+// seedDensity applies partial-hit prefix reuse to an SCF config: when
+// the store holds a converged density for the same model-chemistry and
+// composition prefix (a neighbouring scan point, an earlier MD step, a
+// different geometry of the same system), SCF starts from it with the
+// incremental ΔP build path instead of a cold SAD guess. Returns the
+// store key under which this run's converged density belongs.
+func (s *Server) seedDensity(cfg *scf.Config, mol *chem.Molecule, nbasis int) string {
+	key := densityKeyPrefix + scf.DensityPrefixKey(*cfg, mol)
+	if b, ok := s.store.Get(key); ok {
+		if n, data, err := store.DecodeMatrix(b); err == nil && n == nbasis {
+			cfg.InitialDensity = &linalg.Matrix{Rows: n, Cols: n, Data: data}
+			cfg.Incremental = true
+			s.reg.Counter("prefix.density_hits").Add(1)
+			return key
+		}
+	}
+	s.reg.Counter("prefix.density_misses").Add(1)
+	return key
+}
+
+// storeDensity records a converged density under its prefix key.
+func (s *Server) storeDensity(key string, res *scf.Result) {
+	if !res.Converged {
+		return
+	}
+	if err := s.store.Put(key, store.EncodeMatrix(res.Set.NBasis, res.P.Data)); err == nil {
+		s.reg.Counter("prefix.density_stored").Add(1)
+	}
+}
+
 func (s *Server) runSCF(j *job) *JobResult {
-	res, err := scf.RunContext(j.ctx, j.prep.mol, s.scfConfig(&j.req))
+	cfg := s.scfConfig(&j.req)
+	dkey := s.seedDensity(&cfg, j.prep.mol, j.prep.set.NBasis)
+	res, err := scf.RunContext(j.ctx, j.prep.mol, cfg)
 	if err != nil {
 		state := StateFailed
 		if j.ctx.Err() != nil {
@@ -462,6 +596,7 @@ func (s *Server) runSCF(j *job) *JobResult {
 		return &JobResult{State: state, Error: err.Error()}
 	}
 	s.mergeReport(res.HFXReport)
+	s.storeDensity(dkey, res)
 	return &JobResult{State: StateDone, SCF: SummarizeSCF(res)}
 }
 
@@ -469,7 +604,7 @@ func (s *Server) runBuildJK(st *workerState, j *job) *JobResult {
 	if j.req.Ranks > 1 {
 		return s.runDistBuildJK(st, j)
 	}
-	b := st.builderFor(j, s.cfg.BuilderThreads, s.reg)
+	b := st.builderFor(j, s)
 	p := scf.SADDensity(j.prep.set)
 	jm, km, rep := b.BuildJK(p)
 	s.mergeReport(rep)
@@ -492,7 +627,7 @@ func (s *Server) runBuildJK(st *workerState, j *job) *JobResult {
 // on the in-process mprt runtime, and the per-rank compute/comm phase
 // walls plus the collective traffic land in the /metrics registry.
 func (s *Server) runDistBuildJK(st *workerState, j *job) *JobResult {
-	d, err := st.distBuilderFor(j, s.reg)
+	d, err := st.distBuilderFor(j, s)
 	if err != nil {
 		return &JobResult{State: StateFailed, Error: err.Error()}
 	}
@@ -548,7 +683,12 @@ func (s *Server) runScan(j *job) *JobResult {
 		if err != nil {
 			return &JobResult{State: StateFailed, Error: err.Error()}
 		}
-		res, err := scf.RunContext(j.ctx, mol, cfg)
+		// Every point shares the scan's composition prefix, so point i
+		// starts from point i−1's converged density — the partial-hit
+		// reuse that makes a scan cheaper than independent SCFs.
+		pcfg := cfg
+		dkey := s.seedDensity(&pcfg, mol, j.prep.set.NBasis)
+		res, err := scf.RunContext(j.ctx, mol, pcfg)
 		if err != nil {
 			if j.ctx.Err() != nil {
 				return &JobResult{State: StateCancelled, Error: err.Error(), Scan: sum}
@@ -556,6 +696,7 @@ func (s *Server) runScan(j *job) *JobResult {
 			return &JobResult{State: StateFailed, Error: err.Error(), Scan: sum}
 		}
 		s.mergeReport(res.HFXReport)
+		s.storeDensity(dkey, res)
 		if i == 0 {
 			ref = res.Energy
 		}

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"hfxmd/internal/store"
 )
 
 // mustNew starts a server or fails the test; the journal-less configs
@@ -117,30 +119,52 @@ func TestQueueFullAndDrain(t *testing.T) {
 // ---------------------------------------------------------------------------
 // Cache unit tests.
 
-func TestCacheLRUEviction(t *testing.T) {
-	c := newLRUCache(2)
-	c.put("a", JobResult{ID: "a"})
-	c.put("b", JobResult{ID: "b"})
+// newTestCache builds a memory-only resultCache with the given hot-tier
+// byte budget.
+func newTestCache(t *testing.T, hotBytes int64) *resultCache {
+	t.Helper()
+	st, err := store.Open(store.Options{HotBytes: hotBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &resultCache{st: st}
+}
+
+func TestCacheByteBudgetEviction(t *testing.T) {
+	// Each JSON-encoded JobResult here is a few hundred bytes; a 1 KiB
+	// budget holds roughly two, so inserting a third evicts the least
+	// recently used one — "b", because the get refreshed "a".
+	c := newTestCache(t, 1<<10)
+	c.put("a", JobResult{ID: "a", Error: strings.Repeat("x", 200)})
+	c.put("b", JobResult{ID: "b", Error: strings.Repeat("x", 200)})
 	c.get("a") // refresh a: b is now least recently used
-	c.put("c", JobResult{ID: "c"})
+	c.put("c", JobResult{ID: "c", Error: strings.Repeat("x", 200)})
 	if _, ok := c.get("b"); ok {
 		t.Fatal("b should have been evicted")
 	}
 	for _, k := range []string{"a", "c"} {
-		if _, ok := c.get(k); !ok {
+		if res, ok := c.get(k); !ok || res.ID != k {
 			t.Fatalf("%s should be cached", k)
 		}
 	}
-	if c.len() != 2 {
-		t.Fatalf("len %d, want 2", c.len())
+	if c.bytes() > 1<<10 {
+		t.Fatalf("cache.bytes %d exceeds the 1 KiB budget", c.bytes())
+	}
+	// A single result bigger than the whole budget is never admitted.
+	c.put("huge", JobResult{ID: "huge", Error: strings.Repeat("x", 4<<10)})
+	if _, ok := c.get("huge"); ok {
+		t.Fatal("over-budget result must not be admitted")
 	}
 }
 
 func TestCacheDisabled(t *testing.T) {
-	c := newLRUCache(-1)
+	c := newTestCache(t, -1)
 	c.put("a", JobResult{})
 	if _, ok := c.get("a"); ok {
 		t.Fatal("disabled cache must not store")
+	}
+	if c.contains("a") {
+		t.Fatal("disabled cache must not report residency")
 	}
 }
 
@@ -247,7 +271,7 @@ func TestServerSCFJobAndCacheHit(t *testing.T) {
 }
 
 func TestServerScreenAndBuildJKWithBuilderReuse(t *testing.T) {
-	s := mustNew(t, Config{Workers: 1, CacheCap: -1})
+	s := mustNew(t, Config{Workers: 1, CacheBytes: -1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer s.Shutdown(context.Background())
@@ -282,7 +306,7 @@ func TestServerScreenAndBuildJKWithBuilderReuse(t *testing.T) {
 }
 
 func TestServerSemiDirectBuildJK(t *testing.T) {
-	s := mustNew(t, Config{Workers: 1, CacheCap: -1})
+	s := mustNew(t, Config{Workers: 1, CacheBytes: -1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer s.Shutdown(context.Background())
@@ -320,7 +344,7 @@ func TestServerDistributedBuildJK(t *testing.T) {
 	// BuilderThreads 4 makes the single-rank builder's global worker count
 	// equal to the distributed build's 4 ranks × 1 thread — the
 	// configuration the bitwise contract pins.
-	s := mustNew(t, Config{Workers: 1, CacheCap: -1, BuilderThreads: 4})
+	s := mustNew(t, Config{Workers: 1, CacheBytes: -1, BuilderThreads: 4})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer s.Shutdown(context.Background())
@@ -384,7 +408,7 @@ func TestServerDistributedBuildJK(t *testing.T) {
 }
 
 func TestServerJobDeadline(t *testing.T) {
-	s := mustNew(t, Config{Workers: 1, CacheCap: -1})
+	s := mustNew(t, Config{Workers: 1, CacheBytes: -1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer s.Shutdown(context.Background())
@@ -465,7 +489,7 @@ func TestServerLifecycle(t *testing.T) {
 	s := mustNew(t, Config{
 		Workers:  1,
 		QueueCap: 1,
-		CacheCap: -1,
+		CacheBytes: -1,
 		BeforeRun: func(kind string) {
 			running <- kind
 			<-block
@@ -573,7 +597,7 @@ func TestServerLifecycle(t *testing.T) {
 // through a 4-worker server — the race-cleanliness criterion (run under
 // -race by scripts/check.sh).
 func TestServerConcurrentJobs(t *testing.T) {
-	s := mustNew(t, Config{Workers: 4, CacheCap: -1})
+	s := mustNew(t, Config{Workers: 4, CacheBytes: -1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer s.Shutdown(context.Background())

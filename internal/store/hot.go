@@ -1,0 +1,87 @@
+package store
+
+import "container/list"
+
+// hotEntryOverhead approximates the per-entry bookkeeping cost charged
+// against the hot-tier byte budget on top of key and payload bytes
+// (list element, map slot, headers).
+const hotEntryOverhead = 96
+
+// hotLRU is the hot tier: a byte-budgeted (not entry-counted) LRU over
+// raw payloads. Results vary ~100× in encoded size, so an entry-count
+// capacity makes worst-case memory unbounded; the budget charges
+// len(key)+len(val)+overhead per entry and evicts least-recently-used
+// entries until it fits. An entry larger than the whole budget is never
+// admitted. Not safe for concurrent use — the Store's mutex guards it.
+type hotLRU struct {
+	budget int64
+	bytes  int64
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+}
+
+type hotEntry struct {
+	key string
+	val []byte
+}
+
+func entrySize(key string, val []byte) int64 {
+	return int64(len(key)) + int64(len(val)) + hotEntryOverhead
+}
+
+func newHotLRU(budget int64) *hotLRU {
+	return &hotLRU{budget: budget, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the payload for key, marking it most recently used.
+func (h *hotLRU) get(key string) ([]byte, bool) {
+	el, ok := h.items[key]
+	if !ok {
+		return nil, false
+	}
+	h.ll.MoveToFront(el)
+	return el.Value.(*hotEntry).val, true
+}
+
+// contains reports residency without refreshing the LRU position: an
+// affinity probe must not make an entry look hot.
+func (h *hotLRU) contains(key string) bool {
+	_, ok := h.items[key]
+	return ok
+}
+
+// put stores (or replaces) an entry and evicts from the cold end until
+// the budget holds. It returns the number of entries evicted.
+func (h *hotLRU) put(key string, val []byte) (evicted int64) {
+	if h.budget <= 0 || entrySize(key, val) > h.budget {
+		return 0
+	}
+	if el, ok := h.items[key]; ok {
+		e := el.Value.(*hotEntry)
+		h.bytes += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		h.ll.MoveToFront(el)
+	} else {
+		h.items[key] = h.ll.PushFront(&hotEntry{key: key, val: val})
+		h.bytes += entrySize(key, val)
+	}
+	for h.bytes > h.budget {
+		last := h.ll.Back()
+		e := last.Value.(*hotEntry)
+		h.ll.Remove(last)
+		delete(h.items, e.key)
+		h.bytes -= entrySize(e.key, e.val)
+		evicted++
+	}
+	return evicted
+}
+
+// drop clears the tier (bench/test hook for re-sampling disk hits).
+func (h *hotLRU) drop() {
+	h.ll.Init()
+	clear(h.items)
+	h.bytes = 0
+}
+
+// len returns the number of resident entries.
+func (h *hotLRU) len() int { return h.ll.Len() }

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Benchmark the tiered content-addressed store and emit BENCH_store.json:
+# the `hfxscale -exp s1` report — cold vs disk-warm vs RAM-warm service
+# latency through a restarted hfxd instance, hot-tier vs disk-tier Get
+# micro-latency, the ERI spill/warm round trip (bitwise-checked, with
+# cold vs warmed build walls), and the fleet-wide cache hit-ratio gain
+# from sharing one store across instances. The run enforces its own
+# acceptance gates (cold > disk-warm, disk Get > hot Get, warmed build
+# computes nothing and matches bitwise, shared store raises the hit
+# ratio) and exits non-zero if any fail. This file is the committed
+# store baseline.
+#
+# Usage: scripts/bench_store.sh [output.json]
+# S1_TRIALS / S1_WATERS override the trial count and ERI system size;
+# S1_FAST=1 is shorthand for a quick CI run.
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_store.json}"
+
+trials="${S1_TRIALS:-25}"
+waters="${S1_WATERS:-2}"
+if [ "${S1_FAST:-0}" = "1" ]; then
+	trials=5
+	waters=1
+fi
+
+go run ./cmd/hfxscale -exp s1 \
+	-s1-trials "$trials" \
+	-s1-waters "$waters" \
+	-s1-out "$out"
+
+echo "wrote $out"

@@ -20,6 +20,12 @@
 # their own race pass (routing policies, typed failover, trace replay),
 # and a seeded-replay determinism smoke: the same c1 workload replayed
 # twice must print identical per-SLO-class counts and digests.
+# The tiered store gets a race pass (torn tails, corrupt-CRC skips,
+# concurrent get/put/promote), a SIGKILL kill-and-restart smoke
+# (scripts/smoke_store.sh: the repeated job must be a disk-warm hit with
+# zero Fock builds on the restarted daemon), and a fast bench_store.sh
+# run whose in-run gates enforce the tier latency ordering, the bitwise
+# ERI spill round trip, and the shared-store fleet hit-ratio gain.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -70,6 +76,22 @@ go run ./cmd/hfxscale -exp c1 -c1-events 12 -c1-live=false | grep '^replay-diges
 diff "$rep1" "$rep2"
 test -s "$rep1"
 rm -f "$rep1" "$rep2"
+
+# Tiered store: race pass over the crash-safety tests (torn active tail,
+# corrupt-CRC record skip, concurrent get/put/promote churn), the server
+# integration (restart disk-warm hit, ERI spill/warm, prefix density
+# seeding, store/journal dir validation), and the shared-store fleet pin.
+go test -race -count=1 ./internal/store/
+go test -race -count=1 ./internal/hfx/ -run 'TestSpill'
+go test -race -count=1 ./internal/server/ -run 'TestStoreDir|TestRestartAnswersFromDisk|TestERISpillWarms|TestPrefixDensity|TestDensityChains|TestCacheByteBudget'
+go test -race -count=1 ./internal/fleet/ -run 'TestClusterSharedStore'
+# SIGKILL kill-and-restart smoke: disk-warm hit, zero Fock builds.
+scripts/smoke_store.sh
+# Store bench (fast mode): the run fails itself if any acceptance gate
+# (tier ordering, bitwise spill warm, fleet hit-ratio gain) breaks.
+store_json="$(mktemp)"
+S1_FAST=1 scripts/bench_store.sh "$store_json"
+rm -f "$store_json"
 
 # Fock bench regression gate against the committed baseline.
 fresh="$(mktemp)"

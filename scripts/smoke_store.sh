@@ -1,0 +1,78 @@
+#!/bin/sh
+# Kill-and-restart smoke test for the tiered store: boot hfxd with a
+# store directory, run one SCF job, SIGKILL the daemon (no drain, no
+# graceful close), boot a fresh daemon over the same directory, and
+# assert the repeated job is answered from the disk tier — cacheHit true
+# with the restarted process reporting hfx.fock_builds = 0 (it never did
+# quantum-chemistry work).
+#
+# Needs only a POSIX shell + go; uses hfxd's own client mode.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'kill -9 "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT INT TERM
+
+go build -o "$tmp/hfxd" ./cmd/hfxd
+
+start_server() {
+    log="$1"
+    "$tmp/hfxd" -addr 127.0.0.1:0 -workers 1 -store-dir "$tmp/store" >"$log" 2>&1 &
+    pid=$!
+    url=""
+    for _ in $(seq 1 100); do
+        url=$(sed -n 's/^hfxd: listening on \(http:\/\/[^ ]*\).*/\1/p' "$log")
+        [ -n "$url" ] && break
+        kill -0 "$pid" 2>/dev/null || { echo "hfxd died on startup:"; cat "$log"; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$url" ] || { echo "no handshake from hfxd:"; cat "$log"; exit 1; }
+}
+
+start_server "$tmp/boot1.log"
+echo "smoke-store: first server at $url (store $tmp/store)"
+
+"$tmp/hfxd" -submit -url "$url" -system water -basis STO-3G >"$tmp/first.json"
+grep -q '"state": "done"' "$tmp/first.json"
+grep -q '"cacheHit": false' "$tmp/first.json"
+grep -q '"converged": true' "$tmp/first.json"
+
+# Crash, not drain: SIGKILL leaves no chance to flush anything that was
+# not already durable.
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+
+start_server "$tmp/boot2.log"
+echo "smoke-store: restarted server at $url"
+
+"$tmp/hfxd" -submit -url "$url" -system water -basis STO-3G >"$tmp/second.json"
+grep -q '"state": "done"' "$tmp/second.json"
+grep -q '"cacheHit": true' "$tmp/second.json" || {
+    echo "repeated job after SIGKILL+restart was not a disk-warm hit:"
+    cat "$tmp/second.json"; exit 1; }
+
+# The stored payload must be byte-identical economics: same energy.
+e1=$(sed -n 's/.*"energy": \([^,]*\),.*/\1/p' "$tmp/first.json" | head -1)
+e2=$(sed -n 's/.*"energy": \([^,]*\),.*/\1/p' "$tmp/second.json" | head -1)
+[ "$e1" = "$e2" ] || { echo "disk tier returned a different energy: $e1 vs $e2"; exit 1; }
+
+# The restarted process must have done zero Fock builds: the answer came
+# from the store, not from recomputation.
+if command -v curl >/dev/null 2>&1; then
+    metrics=$(curl -s "$url/metrics?format=json")
+    echo "$metrics" | grep -q '"store.disk_hits"' || {
+        echo "metrics do not expose the store counters:"; echo "$metrics"; exit 1; }
+    echo "$metrics" | grep -q '"hfx.fock_builds": 0' || {
+        echo "restarted server recomputed instead of reading the disk tier:"
+        echo "$metrics"; exit 1; }
+fi
+
+kill -TERM "$pid"
+for _ in $(seq 1 100); do
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+done
+kill -9 "$pid" 2>/dev/null || true
+
+echo "smoke-store: OK (SIGKILL survived, disk-warm hit, zero Fock builds after restart)"
