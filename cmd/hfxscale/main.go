@@ -7,7 +7,7 @@
 //	E3 — time-to-solution comparison at fixed machine sizes (">10×");
 //	A1 — load-balancer ablation (block / round-robin / LPT / steal);
 //	A2 — reduction-algorithm ablation (dim-exchange / binomial / ring);
-//	W1 — weak scaling (system grows with the machine);
+//	WK — weak scaling (system grows with the machine);
 //	M0 — the simulated BG/Q partition table (shapes, threads, bisection);
 //	P1 — real (non-simulated) repeated Fock builds on the persistent
 //	     worker pool, with the per-phase accounting table;
@@ -23,7 +23,12 @@
 //	S1 — real tiered-store benchmark: cold vs disk-warm vs RAM-warm
 //	     service latency through a restarted hfxd instance, per-tier Get
 //	     micro-latency, ERI cache spill/warm round-trip (bitwise-checked),
-//	     and the fleet-wide hit-ratio gain from one shared store.
+//	     and the fleet-wide hit-ratio gain from one shared store;
+//	W1 — real deterministic work stealing under injected cost-model
+//	     mispredicts and stragglers: static vs stealing measured balance
+//	     across noise levels (bitwise-identical results), plus the online
+//	     calibration loop's raw-vs-calibrated prediction error across
+//	     successive builds.
 //
 // `hfxscale -exp list` prints this table with one-line descriptions.
 //
@@ -76,8 +81,10 @@ var experiments = []struct {
 		"block / round-robin / LPT / steal balancing on 16 racks", expA1},
 	{"a2", "A2: reduction-algorithm ablation",
 		"dim-exchange / binomial / ring K-reduction cost", expA2},
-	{"w1", "W1: weak scaling (system grows with machine)",
-		"simulated weak scaling, 256 waters per rack", expW1},
+	{"wk", "WK: weak scaling (system grows with machine)",
+		"simulated weak scaling, 256 waters per rack", expWK},
+	{"w1", "W1: work stealing under mispredicts (real)",
+		"static vs stealing balance across noise levels, online calibration", expW1},
 	{"m0", "M0: simulated platform (BG/Q partitions)",
 		"partition shapes, thread counts, diameters, bisections", expM0},
 	{"p1", "P1: persistent-pool Fock builds (real, not simulated)",
@@ -94,7 +101,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hfxscale: ")
 	var (
-		exp    = flag.String("exp", "all", "experiment: e1|e2|e3|a1|a2|w1|m0|p1|d1|c1|s1|all|list")
+		exp    = flag.String("exp", "all", "experiment: e1|e2|e3|a1|a2|wk|m0|p1|d1|c1|s1|w1|all|list")
 		waters = flag.Int("waters", 4096, "condensed-phase system size (H2O molecules)")
 		tasks  = flag.Int("tasks", 3<<20, "node-level task count of the paper decomposition")
 		seed   = flag.Int64("seed", 1, "workload seed")
@@ -116,6 +123,13 @@ func main() {
 	flag.StringVar(&s1Out, "s1-out", "", "write the -exp s1 store benchmark to this JSON file")
 	flag.IntVar(&s1Trials, "s1-trials", 25, "latency trials per tier for -exp s1")
 	flag.IntVar(&s1Waters, "s1-waters", 2, "cluster size for the -exp s1 ERI spill phase")
+	flag.IntVar(&w1Waters, "w1-waters", 2, "cluster size for -exp w1")
+	flag.IntVar(&w1Ranks, "w1-ranks", 4, "mprt ranks for -exp w1")
+	flag.IntVar(&w1Tpr, "w1-threads", 1, "threads per rank for -exp w1 (power of two)")
+	flag.IntVar(&w1Upt, "w1-units", 4, "steal units per thread for -exp w1 (power of two)")
+	flag.IntVar(&w1Builds, "w1-builds", 4, "calibration builds for -exp w1")
+	flag.Uint64Var(&w1Seed, "w1-seed", 7, "noise and victim-order seed for -exp w1")
+	flag.StringVar(&w1Out, "w1-out", "", "write the -exp w1 steal benchmark to this JSON file")
 	flag.Parse()
 
 	want := strings.ToLower(*exp)
@@ -280,7 +294,7 @@ func expM0(_, _ *hfxmd.MachineWorkload) {
 	}
 }
 
-func expW1(_, _ *hfxmd.MachineWorkload) {
+func expWK(_, _ *hfxmd.MachineWorkload) {
 	pts, err := hfxmd.WeakScaling(256, 1<<14, defaultRacks, 1, hfxmd.PaperScheme())
 	if err != nil {
 		log.Fatal(err)

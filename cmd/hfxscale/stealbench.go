@@ -1,0 +1,269 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"time"
+
+	"hfxmd"
+	"hfxmd/internal/basis"
+	"hfxmd/internal/chem"
+	"hfxmd/internal/hfx"
+	"hfxmd/internal/integrals"
+	"hfxmd/internal/linalg"
+	"hfxmd/internal/mprt"
+	"hfxmd/internal/screen"
+	"hfxmd/internal/steal"
+)
+
+var (
+	w1Waters int
+	w1Ranks  int
+	w1Tpr    int
+	w1Upt    int
+	w1Builds int
+	w1Seed   uint64
+	w1Out    string
+)
+
+// ---------------------------------------------------------------------------
+// W1: deterministic work stealing under cost-model mispredicts, real
+// (not simulated) builds on the mprt runtime.
+//
+// Two sweeps, two gates:
+//
+//  1. Noise sweep — for each mispredict level (0%, 20%, 50%, and 30%
+//     plus a 4x straggler rank) the same build runs twice: static
+//     placement only, and with work stealing enabled. The injected
+//     noise distorts the placement model and the wall clock, never the
+//     arithmetic, so all arms stay bitwise identical; only the measured
+//     balance ratio (max/mean per-rank executed wall) moves. Gate:
+//     under the >=20% mispredict + straggler row, stealing must beat
+//     the static measured balance.
+//  2. Calibration — successive builds on one stealing builder feed a
+//     steal.Calibrator; each build reports the mean absolute relative
+//     prediction error of the calibrated vs the raw (factor-1) model
+//     over the same task samples. Gate: by the final build the
+//     calibrated error is below the raw error — the learned per-class
+//     factors remove systematic model bias that wall jitter cannot.
+
+type w1Row struct {
+	NoisePct   float64 `json:"noisePct"`
+	Straggler  bool    `json:"straggler"`
+	Steal      bool    `json:"steal"`
+	BalPred    float64 `json:"balancePredicted"`
+	BalMeas    float64 `json:"balanceMeasured"`
+	Steals     int64   `json:"stealsSucceeded"`
+	Migrated   int64   `json:"blocksMigrated"`
+	ReclaimNS  int64   `json:"idleReclaimedNS"`
+	WallNS     int64   `json:"wallNS"`
+	JKChecksum string  `json:"jkChecksum"`
+}
+
+type w1CalibRow struct {
+	Build        int     `json:"build"`
+	CalErr       float64 `json:"calibratedErr"`
+	RawErr       float64 `json:"rawErr"`
+	Observations int64   `json:"observations"`
+	Rebalanced   bool    `json:"rebalanced"`
+}
+
+type w1Output struct {
+	Waters                 int          `json:"waters"`
+	NBasis                 int          `json:"nbasis"`
+	Ranks                  int          `json:"ranks"`
+	ThreadsPerRank         int          `json:"threadsPerRank"`
+	UnitsPerThread         int          `json:"unitsPerThread"`
+	Units                  int          `json:"units"`
+	Seed                   uint64       `json:"seed"`
+	Rows                   []w1Row      `json:"rows"`
+	Calibration            []w1CalibRow `json:"calibration"`
+	StaticStragglerBalance float64      `json:"staticStragglerBalance"`
+	StealStragglerBalance  float64      `json:"stealStragglerBalance"`
+}
+
+// jkChecksum folds both matrices into a short hex fingerprint, the
+// cross-arm bitwise identity witness committed to BENCH_steal.json.
+func jkChecksum(j, k *linalg.Matrix) string {
+	var h uint64 = 1469598103934665603 // FNV-64a offset basis
+	fold := func(m *linalg.Matrix) {
+		for _, v := range m.Data {
+			bits := math.Float64bits(v)
+			for s := 0; s < 64; s += 8 {
+				h ^= (bits >> s) & 0xff
+				h *= 1099511628211
+			}
+		}
+	}
+	fold(j)
+	fold(k)
+	return fmt.Sprintf("%016x", h)
+}
+
+func expW1(_, _ *hfxmd.MachineWorkload) {
+	eng := integrals.NewEngine(basis.MustBuild("STO-3G", chem.WaterCluster(w1Waters, 6)))
+	scr := screen.BuildPairList(eng, screen.DefaultOptions())
+	n := eng.Basis.NBasis
+	// A dense seeded density: an identity matrix would let density
+	// screening skip most of the real work, leaving measured walls
+	// overhead-dominated and useless for calibration.
+	rng := rand.New(rand.NewSource(int64(w1Seed)))
+	p := linalg.NewSquare(n)
+	for i := 0; i < n; i++ {
+		p.Set(i, i, 1+0.5*rng.Float64())
+		for j := i + 1; j < n; j++ {
+			v := 0.2 * rng.NormFloat64()
+			p.Set(i, j, v)
+			p.Set(j, i, v)
+		}
+	}
+
+	runArm := func(noise *steal.NoisePlan, stealOn bool) (hfx.StealReport, string) {
+		b, err := hfx.NewStealBuilder(eng, scr, hfx.StealOptions{
+			Ranks:          w1Ranks,
+			ThreadsPerRank: w1Tpr,
+			UnitsPerThread: w1Upt,
+			Schedule:       mprt.DimExchange,
+			Opts:           hfx.DefaultOptions(),
+			Steal:          stealOn,
+			Noise:          noise,
+			Seed:           w1Seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer b.Close()
+		j, k, rep, err := b.BuildJK(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep, jkChecksum(j, k)
+	}
+
+	out := w1Output{
+		Waters: w1Waters, NBasis: n,
+		Ranks: w1Ranks, ThreadsPerRank: w1Tpr, UnitsPerThread: w1Upt,
+		Units: w1Ranks * w1Tpr * w1Upt, Seed: w1Seed,
+	}
+
+	fmt.Printf("(H2O)_%d, %d basis functions; %d ranks x %d threads x %d units = %d steal units\n\n",
+		w1Waters, n, w1Ranks, w1Tpr, w1Upt, out.Units)
+	fmt.Printf("%7s %10s | %9s %9s %7s %9s | %9s %9s %7s %9s\n",
+		"noise", "straggler", "stat pred", "stat meas", "", "", "steal prd", "steal mea", "steals", "reclaimed")
+
+	type level struct {
+		pct       float64
+		straggler bool
+	}
+	levels := []level{{0, false}, {0.2, false}, {0.5, false}, {0.3, true}}
+	for _, lv := range levels {
+		var noise *steal.NoisePlan
+		if lv.pct > 0 || lv.straggler {
+			noise = &steal.NoisePlan{Seed: w1Seed, Pct: lv.pct}
+			if lv.straggler {
+				noise.StragglerRank = 1
+				noise.StragglerSlow = 4.0
+			}
+		}
+		statRep, statSum := runArm(noise, false)
+		stealRep, stealSum := runArm(noise, true)
+		if statSum != stealSum {
+			log.Fatalf("noise %.0f%%: static and stealing J/K diverged (%s vs %s) — the bitwise pin is broken",
+				100*lv.pct, statSum, stealSum)
+		}
+		strag := " "
+		if lv.straggler {
+			strag = "4x@r1"
+		}
+		fmt.Printf("%6.0f%% %10s | %9.3f %9.3f %7s %9s | %9.3f %9.3f %7d %9v\n",
+			100*lv.pct, strag,
+			statRep.BalanceRatioPredicted, statRep.BalanceRatioMeasured, "", "",
+			stealRep.BalanceRatioPredicted, stealRep.BalanceRatioMeasured,
+			stealRep.StealsSucceeded, stealRep.IdleReclaimed.Round(time.Microsecond))
+		for _, arm := range []struct {
+			rep hfx.StealReport
+			on  bool
+			sum string
+		}{{statRep, false, statSum}, {stealRep, true, stealSum}} {
+			out.Rows = append(out.Rows, w1Row{
+				NoisePct: lv.pct, Straggler: lv.straggler, Steal: arm.on,
+				BalPred: arm.rep.BalanceRatioPredicted, BalMeas: arm.rep.BalanceRatioMeasured,
+				Steals: arm.rep.StealsSucceeded, Migrated: arm.rep.BlocksMigrated,
+				ReclaimNS: arm.rep.IdleReclaimed.Nanoseconds(),
+				WallNS:    arm.rep.Wall.Nanoseconds(), JKChecksum: arm.sum,
+			})
+		}
+		if lv.straggler {
+			out.StaticStragglerBalance = statRep.BalanceRatioMeasured
+			out.StealStragglerBalance = stealRep.BalanceRatioMeasured
+			// The balance gate: >=20% mispredicts plus a straggler the
+			// placement model cannot see. Static has no recourse; stealing
+			// must measurably recover.
+			if stealRep.StealsSucceeded == 0 {
+				log.Fatal("straggler row: stealing arm migrated nothing")
+			}
+			if stealRep.BalanceRatioMeasured >= statRep.BalanceRatioMeasured {
+				log.Fatalf("straggler row: stealing measured balance %.3f did not beat static %.3f",
+					stealRep.BalanceRatioMeasured, statRep.BalanceRatioMeasured)
+			}
+		}
+	}
+
+	// Calibration loop: one stealing builder, a fresh calibrator, and
+	// w1Builds successive builds re-balanced as the factors converge.
+	cal := steal.NewCalibrator(0.5)
+	cb, err := hfx.NewStealBuilder(eng, scr, hfx.StealOptions{
+		Ranks:          w1Ranks,
+		ThreadsPerRank: w1Tpr,
+		UnitsPerThread: w1Upt,
+		Schedule:       mprt.DimExchange,
+		Opts:           hfx.DefaultOptions(),
+		Steal:          true,
+		Calibrator:     cal,
+		Seed:           w1Seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cb.Close()
+	fmt.Printf("\ncalibration (%d builds, alpha 0.5):\n%6s %14s %14s %8s %11s\n",
+		w1Builds, "build", "calibrated err", "raw err", "obs", "rebalanced")
+	var last w1CalibRow
+	for i := 0; i < w1Builds; i++ {
+		_, _, rep, err := cb.BuildJK(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		last = w1CalibRow{
+			Build: i + 1, CalErr: rep.CalibMeanAbsErr, RawErr: rep.CalibRawAbsErr,
+			Observations: rep.CalibObservations, Rebalanced: rep.Rebalanced,
+		}
+		out.Calibration = append(out.Calibration, last)
+		fmt.Printf("%6d %14.4f %14.4f %8d %11v\n",
+			last.Build, last.CalErr, last.RawErr, last.Observations, last.Rebalanced)
+	}
+	// The calibration gate: over the final build's samples, the learned
+	// factors must predict better than the raw cost model. Jitter hits
+	// both error series identically; the gap is the removed bias.
+	if last.CalErr >= last.RawErr {
+		log.Fatalf("calibration: final build's calibrated error %.4f not below raw %.4f",
+			last.CalErr, last.RawErr)
+	}
+	fmt.Printf("\ngates: steal balance %.3f < static %.3f under straggler; calibrated err %.4f < raw %.4f\n",
+		out.StealStragglerBalance, out.StaticStragglerBalance, last.CalErr, last.RawErr)
+
+	if w1Out != "" {
+		b, err := json.MarshalIndent(out, "", " ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(w1Out, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", w1Out)
+	}
+}

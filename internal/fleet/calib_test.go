@@ -1,0 +1,164 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"hfxmd/internal/server"
+	"hfxmd/internal/steal"
+)
+
+// pClasses are the bra-pair angular-momentum classes (La<<4 | Lb) with a
+// p shell: they dominate water's cost and are absent from a hydrogen
+// chain, which is how calibration moves the two systems differentially.
+var pClasses = []int{0x01, 0x10, 0x11}
+
+func hChainXYZ(n int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d\nhydrogen chain\n", n)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "H %.3f 0.0 0.0\n", float64(i)*0.9)
+	}
+	return sb.String()
+}
+
+// TestFleetPriceMemoInvalidatesOnCalibratorEpoch pins the memo contract:
+// a CostWeighted router prices each key once per calibrator epoch — a
+// factor update re-prices on next use instead of serving the stale cost.
+func TestFleetPriceMemoInvalidatesOnCalibratorEpoch(t *testing.T) {
+	cal := steal.NewCalibrator(0)
+	c := mustCluster(t, Options{Policy: CostWeighted, Calibrator: cal})
+	defer c.Close(context.Background())
+
+	chain := server.JobRequest{Kind: server.KindBuildJK, XYZ: hChainXYZ(10)}
+	_, p1, err := c.price(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, p, _ := c.price(chain); p != p1 {
+		t.Fatalf("memoised price moved without a calibrator change: %g != %g", p, p1)
+	}
+	if got := c.reg.Counter("fleet.repriced").Value(); got != 0 {
+		t.Fatalf("fleet.repriced = %d after memo hits, want 0", got)
+	}
+
+	cal.SetFactor(0, 3) // epoch moves: the chain is pure class 0
+	_, p2, err := c.price(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * p1; math.Abs(p2-want) > 1e-9*want {
+		t.Fatalf("re-priced %g, want 3x the raw price %g", p2, want)
+	}
+	if got := c.reg.Counter("fleet.repriced").Value(); got != 1 {
+		t.Fatalf("fleet.repriced = %d, want 1", got)
+	}
+}
+
+// routeProbe boots a fresh two-instance CostWeighted fleet sharing cal,
+// parks one water build on instance 0 and one hydrogen-chain build on
+// instance 1 (each held in-flight by a worker gate), then routes a probe
+// job and reports which instance took it. The held jobs' in-flight
+// predicted costs are the only load signal, so the winner is exactly the
+// instance whose parked job the calibrated model prices cheaper.
+func routeProbe(t *testing.T, cal *steal.Calibrator) int {
+	t.Helper()
+	gate := make(chan struct{})
+	c := mustCluster(t, Options{
+		Instances:  2,
+		Policy:     CostWeighted,
+		Calibrator: cal,
+		Server: server.Config{
+			Workers: 1, CacheBytes: -1,
+			BeforeRun: func(kind string) { <-gate },
+		},
+	})
+	defer c.Close(context.Background())
+
+	water := server.JobRequest{Kind: server.KindBuildJK, System: "water"}
+	chain := server.JobRequest{Kind: server.KindBuildJK, XYZ: hChainXYZ(10)}
+	held := make(chan error, 2)
+	go func() {
+		_, err := c.Instances()[0].Client.Submit(context.Background(), water)
+		held <- err
+	}()
+	go func() {
+		_, err := c.Instances()[1].Client.Submit(context.Background(), chain)
+		held <- err
+	}()
+	waitFor(t, "held jobs in flight", func() bool {
+		return c.Instances()[0].Srv.InflightCostNS() > 0 &&
+			c.Instances()[1].Srv.InflightCostNS() > 0
+	})
+
+	probeDone := make(chan int, 1)
+	go func() {
+		_, idx, err := c.Submit(context.Background(), server.JobRequest{
+			Kind: server.KindScreen, System: "he",
+		})
+		if err != nil {
+			t.Errorf("probe: %v", err)
+			idx = -1
+		}
+		probeDone <- idx
+	}()
+	// Only release the workers once the probe is routed and queued on its
+	// chosen instance — the decision must see the parked loads.
+	waitFor(t, "probe queued", func() bool {
+		return c.Instances()[0].Srv.QueueDepth()+c.Instances()[1].Srv.QueueDepth() == 1
+	})
+	close(gate)
+	idx := <-probeDone
+	for i := 0; i < 2; i++ {
+		if err := <-held; err != nil {
+			t.Fatalf("held job: %v", err)
+		}
+	}
+	return idx
+}
+
+// TestFleetRoutingShiftsAfterCalibration is the satellite gate: the same
+// fleet state routes the same probe differently before and after
+// calibration. Raw model: the parked water build (1.6e6 cost-model ns)
+// looks cheaper than the parked H10 build (5.6e6), so the probe joins
+// instance 0. With 40x p-class factors — "p blocks run much slower than
+// the raw model claims" — water's in-flight price inflates ~26x while
+// the pure-s chain is untouched, and the identical probe flips to
+// instance 1.
+func TestFleetRoutingShiftsAfterCalibration(t *testing.T) {
+	// Preconditions the shift rests on, pinned against the cost model.
+	water := server.JobRequest{Kind: server.KindBuildJK, System: "water"}
+	chain := server.JobRequest{Kind: server.KindBuildJK, XYZ: hChainXYZ(10)}
+	_, waterRaw, err := server.PriceRequest(water, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, chainRaw, err := server.PriceRequest(chain, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waterRaw >= chainRaw {
+		t.Fatalf("precondition: raw water %g must undercut raw chain %g", waterRaw, chainRaw)
+	}
+	tuned := steal.NewCalibrator(0)
+	for _, cls := range pClasses {
+		tuned.SetFactor(cls, 40)
+	}
+	_, waterCal, err := server.PriceRequestCalibrated(water, 1, tuned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waterCal <= chainRaw {
+		t.Fatalf("precondition: calibrated water %g must overtake the chain %g", waterCal, chainRaw)
+	}
+
+	if idx := routeProbe(t, steal.NewCalibrator(0)); idx != 0 {
+		t.Fatalf("uncalibrated probe routed to %d, want 0 (water looks cheap)", idx)
+	}
+	if idx := routeProbe(t, tuned); idx != 1 {
+		t.Fatalf("calibrated probe routed to %d, want 1 (water's p blocks repriced)", idx)
+	}
+}

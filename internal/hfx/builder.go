@@ -15,6 +15,7 @@ import (
 	"hfxmd/internal/qpx"
 	"hfxmd/internal/sched"
 	"hfxmd/internal/screen"
+	"hfxmd/internal/steal"
 	"hfxmd/internal/trace"
 )
 
@@ -55,6 +56,11 @@ type Options struct {
 	// normally terminates the whole ket range). Ablation/testing knob; the
 	// results are bitwise identical either way.
 	NoEarlyExit bool
+	// Calibrator, when non-nil, makes the pool time every task it executes
+	// and fold (work class, raw predicted cost, measured wall) samples into
+	// the calibrator's per-class correction factors. The hot path stays
+	// untimed when nil.
+	Calibrator *steal.Calibrator
 }
 
 // DefaultOptions returns the paper's production configuration.
@@ -189,6 +195,10 @@ type pool struct {
 	// order is the dynamic-dispatch order (descending cost), computed
 	// once; nil when Dynamic is off.
 	order []int
+	// classes and calib are set when Options.Calibrator is non-nil: tasks
+	// are timed and observed into the calibrator per work class.
+	classes []int
+	calib   *steal.Calibrator
 
 	nw      int
 	jBufs   []*linalg.Matrix
@@ -281,6 +291,10 @@ func newPool(eng *integrals.Engine, scr *screen.Result, opts Options,
 	}
 	if opts.Vector {
 		pl.stats = &pl.qstats
+	}
+	if opts.Calibrator != nil {
+		pl.classes = TaskClasses(eng.Basis, scr.Pairs, tasks)
+		pl.calib = opts.Calibrator
 	}
 	if opts.CacheBudgetBytes > 0 {
 		pl.cache = newERICache(eng.Basis, scr.Pairs, pl.tasks, pl.asn,
@@ -384,12 +398,25 @@ func (pl *pool) compute(w int) {
 			if i >= len(pl.order) {
 				return
 			}
-			pl.runTask(pl.order[i], jw, kw, buf, sc)
+			pl.runTaskObserved(pl.order[i], jw, kw, buf, sc)
 		}
 	}
 	for _, ti := range pl.asn.Workers[w] {
-		pl.runTask(ti, jw, kw, buf, sc)
+		pl.runTaskObserved(ti, jw, kw, buf, sc)
 	}
+}
+
+// runTaskObserved wraps runTask with a per-task wall measurement folded
+// into the calibrator as a (class, raw predicted, measured) sample. With
+// no calibrator the hot path stays untimed.
+func (pl *pool) runTaskObserved(ti int, jw, kw *linalg.Matrix, buf []float64, sc *integrals.Scratch) {
+	if pl.calib == nil {
+		pl.runTask(ti, jw, kw, buf, sc)
+		return
+	}
+	t0 := time.Now()
+	pl.runTask(ti, jw, kw, buf, sc)
+	pl.calib.Observe(pl.classes[ti], pl.tasks[ti].Cost, float64(time.Since(t0).Nanoseconds()))
 }
 
 // reduce performs this worker's merge step of the pairwise reduction
@@ -430,6 +457,33 @@ func (b *Builder) BuildJK(p *linalg.Matrix) (j, k *linalg.Matrix, rep Report) {
 // (the full matrices for a Builder, this rank's partials for a
 // DistBuilder rank pool).
 func (pl *pool) runBuild(p *linalg.Matrix) (depth int) {
+	pl.prepareBuild(p)
+
+	pl.phase = phaseCompute
+	t0 := time.Now()
+	pl.broadcast()
+	pl.reg.Timer.Charge("compute", time.Since(t0))
+
+	// Hierarchical pairwise reduction (binary tree), mirroring the
+	// machine-scale K allreduce over the torus. The same persistent
+	// workers execute the merge steps.
+	t0 = time.Now()
+	for stride := 1; stride < pl.nw; stride *= 2 {
+		depth++
+		pl.phase = phaseReduce
+		pl.stride = stride
+		pl.broadcast()
+	}
+	pl.reg.Timer.Charge("reduce", time.Since(t0))
+	pl.p = nil
+	return depth
+}
+
+// prepareBuild resets the pool's per-build state for density P: timers,
+// traffic counters, the shared density pointer and the global density
+// bound. Callers that drive the workers themselves (StealBuilder)
+// use it without broadcast.
+func (pl *pool) prepareBuild(p *linalg.Matrix) {
 	n := pl.eng.Basis.NBasis
 	if p.Rows != n || p.Cols != n {
 		panic("hfx: density dimension mismatch")
@@ -462,25 +516,6 @@ func (pl *pool) runBuild(p *linalg.Matrix) (depth int) {
 			}
 		}
 	}
-
-	pl.phase = phaseCompute
-	t0 := time.Now()
-	pl.broadcast()
-	pl.reg.Timer.Charge("compute", time.Since(t0))
-
-	// Hierarchical pairwise reduction (binary tree), mirroring the
-	// machine-scale K allreduce over the torus. The same persistent
-	// workers execute the merge steps.
-	t0 = time.Now()
-	for stride := 1; stride < pl.nw; stride *= 2 {
-		depth++
-		pl.phase = phaseReduce
-		pl.stride = stride
-		pl.broadcast()
-	}
-	pl.reg.Timer.Charge("reduce", time.Since(t0))
-	pl.p = nil
-	return depth
 }
 
 // buildReport assembles the Report for the build cycle that just ran.

@@ -11,6 +11,7 @@ import (
 	"hfxmd/internal/mprt"
 	"hfxmd/internal/sched"
 	"hfxmd/internal/screen"
+	"hfxmd/internal/steal"
 	"hfxmd/internal/torus"
 	"hfxmd/internal/trace"
 
@@ -41,6 +42,16 @@ type DistOptions struct {
 	// FaultPlan optionally kills one rank during one build's compute
 	// phase, exercising the restart path (nil injects nothing).
 	FaultPlan *RankFaultPlan
+	// Noise optionally distorts the placement model (the costs the
+	// static balancer sees) and slows a straggler rank — mispredict
+	// injection for balance experiments. Arithmetic is never touched,
+	// but a noisy placement groups tasks differently, so the bitwise pin
+	// against the single-rank Builder holds only at zero noise.
+	Noise *steal.NoisePlan
+	// Calibrator, when non-nil, sharpens the placement costs with the
+	// calibrator's per-class factors (as of construction time) and makes
+	// every rank pool observe measured task walls into it.
+	Calibrator *steal.Calibrator
 }
 
 // RankFaultPlan injects a rank death into a DistBuilder: on the Build-th
@@ -79,10 +90,15 @@ type DistReport struct {
 	MeasuredSteps  int64
 	PredictedSteps int
 
-	// RankLoads is the predicted cost per rank under the global static
-	// schedule; BalanceRatio is max/mean over ranks.
-	RankLoads    []float64
-	BalanceRatio float64
+	// RankLoads is the per-rank cost under the placement model the
+	// balancer saw. BalanceRatioPredicted is max/mean of those loads;
+	// BalanceRatioMeasured is max/mean of the RankCompute walls, so
+	// mispredict damage is visible as the two diverging. BalanceRatio
+	// keeps the historical (predicted) meaning.
+	RankLoads             []float64
+	BalanceRatio          float64
+	BalanceRatioPredicted float64
+	BalanceRatioMeasured  float64
 
 	NTasks           int
 	QuartetsComputed int64
@@ -155,6 +171,7 @@ func NewDistBuilder(eng *integrals.Engine, scr *screen.Result, dopts DistOptions
 	opts := dopts.Opts
 	opts.Threads = dopts.ThreadsPerRank
 	opts.CacheBudgetBytes = 0 // the ERI cache is per-builder; disabled per rank
+	opts.Calibrator = dopts.Calibrator
 	if opts.Cost == (CostModel{}) {
 		opts.Cost = DefaultCostModel()
 	}
@@ -172,7 +189,13 @@ func NewDistBuilder(eng *integrals.Engine, scr *screen.Result, dopts DistOptions
 
 	tasks := GenerateTasks(eng.Basis, scr.Pairs, opts.Cost, opts.Granule)
 	costs := TaskCosts(tasks)
-	asn := sched.Balance(opts.Balancer, costs, dopts.Ranks*dopts.ThreadsPerRank)
+	placed := costs
+	if dopts.Calibrator != nil || dopts.Noise != nil {
+		classes := TaskClasses(eng.Basis, scr.Pairs, tasks)
+		placed = dopts.Calibrator.Scale(classes, costs)
+		placed = dopts.Noise.Perturb(placed, classes)
+	}
+	asn := sched.Balance(opts.Balancer, placed, dopts.Ranks*dopts.ThreadsPerRank)
 
 	d := &DistBuilder{
 		Eng:   eng,
@@ -269,7 +292,12 @@ func (d *DistBuilder) BuildJK(p *linalg.Matrix) (j, k *linalg.Matrix, rep DistRe
 		fused := d.fused[r]
 		copy(fused[:nn], pl.jBufs[0].Data)
 		copy(fused[nn:], pl.kBufs[0].Data)
-		rep.RankCompute[r] = time.Since(t0)
+		wall := time.Since(t0)
+		if delay := d.dopts.Noise.StragglerDelay(r, wall); delay > 0 {
+			time.Sleep(delay)
+			wall += delay
+		}
+		rep.RankCompute[r] = wall
 	}
 
 	// Phase 1: compute. A fault-plan kill fires here, before the rank
@@ -330,18 +358,13 @@ func (d *DistBuilder) BuildJK(p *linalg.Matrix) (j, k *linalg.Matrix, rep DistRe
 	L := d.world.PredictedReduceSteps()
 	rep.PredictedSteps = 3*L + 1
 	rep.RankLoads = d.asn.GroupLoads(d.dopts.ThreadsPerRank)
-	var maxL, sumL float64
-	for _, l := range rep.RankLoads {
-		sumL += l
-		if l > maxL {
-			maxL = l
-		}
+	rep.BalanceRatioPredicted = maxMeanRatio(rep.RankLoads)
+	rep.BalanceRatio = rep.BalanceRatioPredicted
+	walls := make([]float64, R)
+	for r := range walls {
+		walls[r] = float64(rep.RankCompute[r])
 	}
-	if sumL > 0 {
-		rep.BalanceRatio = maxL / (sumL / float64(R))
-	} else {
-		rep.BalanceRatio = 1
-	}
+	rep.BalanceRatioMeasured = maxMeanRatio(walls)
 	rep.Wall = time.Since(start)
 	runtime.KeepAlive(d)
 	return d.jOut, d.kOut, rep, nil

@@ -5,6 +5,7 @@ import (
 
 	"hfxmd/internal/chem"
 	"hfxmd/internal/mprt"
+	"hfxmd/internal/steal"
 )
 
 // TestDistributedBuildMatchesSingleRank is the acceptance gate for the
@@ -188,5 +189,47 @@ func TestDistBuilderRankFaultRecovery(t *testing.T) {
 			}
 			d.Close()
 		}
+	}
+}
+
+// TestDistReportBalanceRatiosDivergeUnderNoise is the regression test
+// for the predicted/measured balance split: BalanceRatio used to be
+// computed from predicted loads only, hiding mispredict damage. With an
+// injected straggler the measured ratio must rise far above the
+// predicted one, while a clean run keeps the two close.
+func TestDistReportBalanceRatiosDivergeUnderNoise(t *testing.T) {
+	eng, scr := setup(t, chem.WaterCluster(2, 6), 1e-12)
+	p := testDensity(eng.Basis.NBasis, 11)
+
+	_, _, clean, err := DistributedBuild(eng, scr, DistOptions{
+		Ranks: 4, Opts: DefaultOptions(),
+	}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.BalanceRatio != clean.BalanceRatioPredicted {
+		t.Fatalf("BalanceRatio %.4f must keep the predicted meaning (%.4f)",
+			clean.BalanceRatio, clean.BalanceRatioPredicted)
+	}
+	if clean.BalanceRatioMeasured <= 0 {
+		t.Fatal("measured balance ratio not populated")
+	}
+
+	_, _, noisy, err := DistributedBuild(eng, scr, DistOptions{
+		Ranks: 4, Opts: DefaultOptions(),
+		Noise: &steal.NoisePlan{Seed: 9, Pct: 0.3, StragglerRank: 1, StragglerSlow: 4.0},
+	}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The placement model cannot see the straggler, so the predicted
+	// ratio stays modest while the measured one blows up.
+	if noisy.BalanceRatioPredicted > 2 {
+		t.Fatalf("predicted ratio %.4f should stay blind to the straggler",
+			noisy.BalanceRatioPredicted)
+	}
+	if noisy.BalanceRatioMeasured < 1.5*noisy.BalanceRatioPredicted {
+		t.Fatalf("measured ratio %.4f did not diverge from predicted %.4f under noise",
+			noisy.BalanceRatioMeasured, noisy.BalanceRatioPredicted)
 	}
 }

@@ -1,0 +1,317 @@
+package hfx
+
+import (
+	"testing"
+
+	"hfxmd/internal/chem"
+	"hfxmd/internal/mprt"
+	"hfxmd/internal/steal"
+)
+
+// TestStealBuildMatchesSingleRankBitwise is the acceptance gate for the
+// work-stealing build: with a clean cost model, the stolen schedule must
+// be bitwise identical — not approximately equal — to a single-rank
+// Builder with Threads = Ranks×ThreadsPerRank×UnitsPerThread, for every
+// rank count, thread count and collective schedule, with stealing both
+// on and off.
+func TestStealBuildMatchesSingleRankBitwise(t *testing.T) {
+	eng, scr := setup(t, chem.WaterCluster(2, 6), 1e-12)
+	p := testDensity(eng.Basis.NBasis, 11)
+	const upt = 2
+	for _, tpr := range []int{1, 2} {
+		for _, ranks := range []int{1, 2, 3, 4, 8} {
+			opts := DefaultOptions()
+			opts.Threads = ranks * tpr * upt
+			sb := NewBuilder(eng, scr, opts)
+			jRef, kRef, _ := sb.BuildJK(p)
+
+			for _, sch := range []mprt.Schedule{mprt.Binomial, mprt.DimExchange} {
+				for _, stealing := range []bool{false, true} {
+					b, err := NewStealBuilder(eng, scr, StealOptions{
+						Ranks:          ranks,
+						ThreadsPerRank: tpr,
+						UnitsPerThread: upt,
+						Schedule:       sch,
+						Opts:           DefaultOptions(),
+						Steal:          stealing,
+						Seed:           7,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					j, k, rep, err := b.BuildJK(p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i, v := range jRef.Data {
+						if j.Data[i] != v {
+							t.Fatalf("ranks=%d tpr=%d %v steal=%v: J[%d] = %x, single-rank %x",
+								ranks, tpr, sch, stealing, i, j.Data[i], v)
+						}
+					}
+					for i, v := range kRef.Data {
+						if k.Data[i] != v {
+							t.Fatalf("ranks=%d tpr=%d %v steal=%v: K[%d] = %x, single-rank %x",
+								ranks, tpr, sch, stealing, i, k.Data[i], v)
+						}
+					}
+					if rep.QuartetsComputed == 0 {
+						t.Fatal("no quartets computed")
+					}
+					if rep.Units != ranks*tpr*upt {
+						t.Fatalf("report shows %d units, want %d", rep.Units, ranks*tpr*upt)
+					}
+					if rep.MeasuredSteps != int64(rep.PredictedSteps) {
+						t.Fatalf("ranks=%d %v: measured steps %d, model predicts %d",
+							ranks, sch, rep.MeasuredSteps, rep.PredictedSteps)
+					}
+					b.Close()
+				}
+			}
+			sb.Close()
+		}
+	}
+}
+
+// TestStealBuildNoisyPinnedAcrossRankCounts pins the determinism
+// contract under adversarial conditions: with injected cost-model noise,
+// per-class skew and a straggler rank, every decomposition of the same
+// total slot count — any rank count, thread count, schedule, stealing on
+// or off — must produce identical bits, because the noise perturbs only
+// the placement model (per task index, rank-count-independent) and the
+// reduction order is canonical over slots.
+func TestStealBuildNoisyPinnedAcrossRankCounts(t *testing.T) {
+	eng, scr := setup(t, chem.Water(), 1e-12)
+	p := testDensity(eng.Basis.NBasis, 3)
+	noise := &steal.NoisePlan{
+		Seed:          99,
+		Pct:           0.3,
+		ClassSkew:     map[int]float64{0: 0.4},
+		StragglerRank: 1,
+		StragglerSlow: 1.0,
+	}
+	// (ranks, threads/rank, units/thread) with ranks×tpr×upt = 16 slots.
+	configs := [][3]int{{1, 2, 8}, {2, 2, 4}, {2, 1, 8}, {4, 1, 4}, {4, 2, 2}, {8, 2, 1}}
+	var jPin, kPin []float64
+	for _, cfg := range configs {
+		for _, sch := range []mprt.Schedule{mprt.Binomial, mprt.DimExchange} {
+			for _, stealing := range []bool{false, true} {
+				b, err := NewStealBuilder(eng, scr, StealOptions{
+					Ranks:          cfg[0],
+					ThreadsPerRank: cfg[1],
+					UnitsPerThread: cfg[2],
+					Schedule:       sch,
+					Opts:           DefaultOptions(),
+					Steal:          stealing,
+					Noise:          noise,
+					Seed:           7,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				j, k, _, err := b.BuildJK(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if jPin == nil {
+					jPin = append([]float64(nil), j.Data...)
+					kPin = append([]float64(nil), k.Data...)
+				} else {
+					for i := range jPin {
+						if j.Data[i] != jPin[i] || k.Data[i] != kPin[i] {
+							t.Fatalf("cfg=%v %v steal=%v: noisy build diverged at element %d",
+								cfg, sch, stealing, i)
+						}
+					}
+				}
+				b.Close()
+			}
+		}
+	}
+	// Non-power-of-two rank count with a different slot total: steal and
+	// static arms of the same noisy plan must still agree bit for bit.
+	var jRef, kRef []float64
+	for _, stealing := range []bool{false, true} {
+		b, err := NewStealBuilder(eng, scr, StealOptions{
+			Ranks: 3, ThreadsPerRank: 2, UnitsPerThread: 4,
+			Opts: DefaultOptions(), Steal: stealing, Noise: noise, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, k, _, err := b.BuildJK(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jRef == nil {
+			jRef = append([]float64(nil), j.Data...)
+			kRef = append([]float64(nil), k.Data...)
+		} else {
+			for i := range jRef {
+				if j.Data[i] != jRef[i] || k.Data[i] != kRef[i] {
+					t.Fatalf("ranks=3: steal arm diverged from static arm at element %d", i)
+				}
+			}
+		}
+		b.Close()
+	}
+}
+
+// TestStealBuildReuseStableAcrossStealPatterns pins what makes the
+// determinism structural: repeated builds on one StealBuilder take
+// timing-dependent (and therefore different) steal decisions, yet every
+// build must produce the same bits.
+func TestStealBuildReuseStableAcrossStealPatterns(t *testing.T) {
+	eng, scr := setup(t, chem.Water(), 1e-12)
+	p := testDensity(eng.Basis.NBasis, 5)
+	b, err := NewStealBuilder(eng, scr, StealOptions{
+		Ranks: 4, UnitsPerThread: 4, Schedule: mprt.DimExchange,
+		Opts: DefaultOptions(), Steal: true, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	j1, k1, rep1, err := b.BuildJK(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc := append([]float64(nil), j1.Data...)
+	kc := append([]float64(nil), k1.Data...)
+	for build := 2; build <= 4; build++ {
+		j, k, rep, err := b.BuildJK(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range jc {
+			if j.Data[i] != jc[i] || k.Data[i] != kc[i] {
+				t.Fatalf("build %d diverged at element %d", build, i)
+			}
+		}
+		if rep.MeasuredSteps != rep1.MeasuredSteps {
+			t.Fatalf("build %d: %d collective steps, build 1 ran %d",
+				build, rep.MeasuredSteps, rep1.MeasuredSteps)
+		}
+	}
+}
+
+// TestStealRecoversBalanceUnderStraggler is the load-recovery gate: with
+// a straggler rank and mispredicted costs, the static placement's
+// measured balance degrades (the predicted ratio stays blind to it)
+// while stealing pulls work off the slow rank and recovers it.
+func TestStealRecoversBalanceUnderStraggler(t *testing.T) {
+	eng, scr := setup(t, chem.WaterCluster(2, 6), 1e-12)
+	p := testDensity(eng.Basis.NBasis, 11)
+	noise := &steal.NoisePlan{
+		Seed:          5,
+		Pct:           0.3,
+		StragglerRank: 2,
+		StragglerSlow: 4.0,
+	}
+	run := func(stealing bool) StealReport {
+		b, err := NewStealBuilder(eng, scr, StealOptions{
+			Ranks: 4, UnitsPerThread: 4, Opts: DefaultOptions(),
+			Steal: stealing, Noise: noise, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Close()
+		_, _, rep, err := b.BuildJK(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	static := run(false)
+	stolen := run(true)
+	if static.BlocksMigrated != 0 {
+		t.Fatalf("static run migrated %d blocks", static.BlocksMigrated)
+	}
+	if stolen.BlocksMigrated == 0 || stolen.StealsSucceeded == 0 {
+		t.Fatalf("stealing run migrated %d blocks (%d successful steals)",
+			stolen.BlocksMigrated, stolen.StealsSucceeded)
+	}
+	if stolen.IdleReclaimed <= 0 {
+		t.Fatal("no idle wall reclaimed by stealing")
+	}
+	// The straggler runs 5x slow; static-only measured imbalance must be
+	// far above the predicted ratio, and stealing must claw most of it
+	// back. The 10% margin keeps the gate robust on noisy CI walls.
+	if static.BalanceRatioMeasured < 1.5 {
+		t.Fatalf("straggler did not degrade static measured balance: %.3f",
+			static.BalanceRatioMeasured)
+	}
+	if stolen.BalanceRatioMeasured > 0.9*static.BalanceRatioMeasured {
+		t.Fatalf("stealing did not recover balance: static %.3f, steal %.3f",
+			static.BalanceRatioMeasured, stolen.BalanceRatioMeasured)
+	}
+}
+
+// TestStealBuilderCalibrationReducesError drives the online feedback
+// loop: successive builds observe measured walls, the calibrator's
+// per-class factors converge, and the mean predicted-vs-measured error
+// drops. The placement must also be recomputed once the epoch moves.
+func TestStealBuilderCalibrationReducesError(t *testing.T) {
+	eng, scr := setup(t, chem.WaterCluster(2, 6), 1e-12)
+	p := testDensity(eng.Basis.NBasis, 11)
+	cal := steal.NewCalibrator(0.5)
+	b, err := NewStealBuilder(eng, scr, StealOptions{
+		Ranks: 2, UnitsPerThread: 4, Opts: DefaultOptions(),
+		Steal: true, Calibrator: cal, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	var first, last StealReport
+	for build := 0; build < 4; build++ {
+		_, _, rep, err := b.BuildJK(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if build == 0 {
+			first = rep
+			if rep.Rebalanced {
+				t.Fatal("first build claims a re-balance")
+			}
+		} else if !rep.Rebalanced {
+			t.Fatalf("build %d did not re-balance after calibration moved", build+1)
+		}
+		last = rep
+	}
+	if first.CalibObservations == 0 {
+		t.Fatal("calibrator saw no observations")
+	}
+	if last.CalibObservations <= first.CalibObservations {
+		t.Fatal("observations did not accumulate across builds")
+	}
+	// The calibrated model of the final build must beat the raw cost
+	// model on the same samples: scheduling jitter hits both error
+	// series identically, so the gap is exactly the systematic bias the
+	// calibration learned away.
+	if last.CalibMeanAbsErr >= last.CalibRawAbsErr {
+		t.Fatalf("calibration did not reduce prediction error: calibrated %.4f, raw %.4f",
+			last.CalibMeanAbsErr, last.CalibRawAbsErr)
+	}
+}
+
+// TestStealBuilderRejectsInvalid pins the option validation.
+func TestStealBuilderRejectsInvalid(t *testing.T) {
+	eng, scr := setup(t, chem.Water(), 1e-12)
+	bad := DefaultOptions()
+	bad.Dynamic = true
+	if _, err := NewStealBuilder(eng, scr, StealOptions{Ranks: 2, Opts: bad}); err == nil {
+		t.Fatal("expected error for Dynamic")
+	}
+	if _, err := NewStealBuilder(eng, scr, StealOptions{Ranks: 2, ThreadsPerRank: 3}); err == nil {
+		t.Fatal("expected error for non-power-of-two threads per rank")
+	}
+	if _, err := NewStealBuilder(eng, scr, StealOptions{Ranks: 2, UnitsPerThread: 6}); err == nil {
+		t.Fatal("expected error for non-power-of-two units per thread")
+	}
+	if _, err := NewStealBuilder(eng, scr, StealOptions{Ranks: 0}); err == nil {
+		t.Fatal("expected error for 0 ranks")
+	}
+}

@@ -46,6 +46,20 @@ func GenerateTasks(set *basis.Set, pairs []screen.Pair, cm CostModel, granule fl
 	return tasks
 }
 
+// TaskClasses maps each task to its work class: the angular momenta of
+// the bra pair's shells, packed as La·16+Lb. Quartet cost scales steeply
+// with the bra's angular structure (primitive counts, block sizes, the
+// recurrence depth of the Boys chain), so the bra class is the natural
+// granularity for steal.Calibrator correction factors.
+func TaskClasses(set *basis.Set, pairs []screen.Pair, tasks []Task) []int {
+	classes := make([]int, len(tasks))
+	for i := range tasks {
+		bra := pairs[tasks[i].Bra]
+		classes[i] = set.Shells[bra.A].L<<4 | set.Shells[bra.B].L
+	}
+	return classes
+}
+
 // TaskCosts extracts the cost array for the scheduler.
 func TaskCosts(tasks []Task) []float64 {
 	costs := make([]float64, len(tasks))

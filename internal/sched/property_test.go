@@ -1,0 +1,119 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// pathological cost distributions for the Balance property tests.
+func propertyDistributions() map[string][]float64 {
+	rng := rand.New(rand.NewSource(17))
+	giant := make([]float64, 257)
+	for i := range giant {
+		giant[i] = 1
+	}
+	giant[40] = 1e6 // one task dominates the total
+
+	powerlaw := make([]float64, 500)
+	for i := range powerlaw {
+		powerlaw[i] = math.Pow(rng.Float64(), -1.5) // heavy tail, alpha < 2
+	}
+
+	equal := make([]float64, 384)
+	for i := range equal {
+		equal[i] = 7
+	}
+
+	zerotail := make([]float64, 300)
+	for i := range zerotail {
+		if i < 100 {
+			zerotail[i] = float64(1 + i%13)
+		} // 200 zero-cost tasks: screened-out granules must still place
+	}
+
+	return map[string][]float64{
+		"one-giant": giant,
+		"power-law": powerlaw,
+		"all-equal": equal,
+		"zero-tail": zerotail,
+	}
+}
+
+// TestBalanceValidityOnPathologicalCosts checks the structural contract
+// of every algorithm on every distribution: each task placed exactly
+// once, per-worker loads consistent with the cost array, worker count as
+// requested, and the makespan never below the theoretical lower bound
+// max(total/n, max task).
+func TestBalanceValidityOnPathologicalCosts(t *testing.T) {
+	algs := []Algorithm{Block, RoundRobin, LPT, Steal}
+	for name, costs := range propertyDistributions() {
+		var total, maxTask float64
+		for _, c := range costs {
+			total += c
+			if c > maxTask {
+				maxTask = c
+			}
+		}
+		for _, alg := range algs {
+			for _, n := range []int{1, 2, 3, 7, 16, 64, 1024} {
+				asn := Balance(alg, costs, n)
+				if asn.NWorkers() != n {
+					t.Fatalf("%s/%v n=%d: got %d workers", name, alg, n, asn.NWorkers())
+				}
+				seen := make([]int, len(costs))
+				for w, tasks := range asn.Workers {
+					var load float64
+					for _, ti := range tasks {
+						if ti < 0 || ti >= len(costs) {
+							t.Fatalf("%s/%v n=%d: task index %d out of range", name, alg, n, ti)
+						}
+						seen[ti]++
+						load += costs[ti]
+					}
+					if math.Abs(load-asn.Loads[w]) > 1e-6*(1+load) {
+						t.Fatalf("%s/%v n=%d: worker %d load %g, recomputed %g",
+							name, alg, n, w, asn.Loads[w], load)
+					}
+				}
+				for ti, cnt := range seen {
+					if cnt != 1 {
+						t.Fatalf("%s/%v n=%d: task %d assigned %d times", name, alg, n, ti, cnt)
+					}
+				}
+				lower := total / float64(n)
+				if maxTask > lower {
+					lower = maxTask
+				}
+				if asn.MaxLoad() < lower-1e-6*(1+lower) {
+					t.Fatalf("%s/%v n=%d: makespan %g below lower bound %g",
+						name, alg, n, asn.MaxLoad(), lower)
+				}
+			}
+		}
+	}
+}
+
+// TestBalanceMakespanMonotoneInWorkers pins that for the cost-aware
+// algorithms (LPT and the steal simulation), granting more worker slots
+// never worsens the predicted makespan on any of the pathological
+// distributions — the property the over-decomposed steal plan relies on
+// when it splits ranks into more virtual slots.
+func TestBalanceMakespanMonotoneInWorkers(t *testing.T) {
+	for name, costs := range propertyDistributions() {
+		for _, alg := range []Algorithm{LPT, Steal} {
+			prev := math.Inf(1)
+			for _, n := range []int{1, 2, 3, 4, 6, 8, 12, 16, 32, 64, 128, 512} {
+				m := PredictMakespan(alg, costs, n)
+				if m > prev*(1+1e-12) {
+					t.Fatalf("%s/%v: makespan rose from %g to %g when workers grew to %d",
+						name, alg, prev, m, n)
+				}
+				if m <= 0 {
+					t.Fatalf("%s/%v n=%d: non-positive makespan %g", name, alg, n, m)
+				}
+				prev = m
+			}
+		}
+	}
+}

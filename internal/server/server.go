@@ -19,6 +19,7 @@ import (
 	"hfxmd/internal/mprt"
 	"hfxmd/internal/scf"
 	"hfxmd/internal/screen"
+	"hfxmd/internal/steal"
 	"hfxmd/internal/store"
 	"hfxmd/internal/trace"
 )
@@ -64,6 +65,15 @@ type Config struct {
 	// execution with the job kind — an observability seam also used by
 	// the lifecycle tests to hold workers at a known point.
 	BeforeRun func(kind string)
+	// Calibrator, if non-nil, closes the cost-model feedback loop: every
+	// Fock build the workers run observes its measured per-class block
+	// walls into it, and admission pricing (queue ordering, the 429
+	// Retry-After hint, the /v1/jobs predicted cost) scales the raw cost
+	// model by the learned factors. Share one calibrator across a fleet's
+	// instances so the router and the servers price in the same units.
+	// When the server owns a persistent store (StoreDir), the calibrator
+	// state is restored from it at boot and saved at shutdown.
+	Calibrator *steal.Calibrator
 	// JournalPath, if non-empty, makes job admission crash-safe: every
 	// accepted job is recorded in a framed write-ahead journal before it
 	// runs and struck out when it finishes. On boot, submits without a
@@ -166,6 +176,7 @@ func New(cfg Config) (*Server, error) {
 		s.ownStore = true
 	}
 	s.cache = &resultCache{st: s.store}
+	s.restoreCalibrator()
 	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("/v1/systems", s.handleSystems)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -179,6 +190,7 @@ func New(cfg Config) (*Server, error) {
 		"journal.compactions", "journal.append_errors", "journal.replay_dropped",
 		"eri.spills", "eri.spill_bytes", "eri.warmed_builders", "eri.warmed_blocks",
 		"prefix.density_hits", "prefix.density_misses", "prefix.density_stored",
+		"calib.restored", "calib.persisted",
 		// Pre-created so a restarted server that answers everything from
 		// the store visibly reports zero Fock builds (the smoke test's
 		// disk-warm assertion).
@@ -186,7 +198,10 @@ func New(cfg Config) (*Server, error) {
 	} {
 		s.reg.Counter(c)
 	}
-	for _, g := range []string{"jobs.queued", "jobs.running", "builders.open", "cache.entries", "cache.bytes"} {
+	for _, g := range []string{
+		"jobs.queued", "jobs.running", "builders.open", "cache.entries", "cache.bytes",
+		"calib.epoch", "calib.observations", "calib.err_milli",
+	} {
 		s.reg.Gauge(g)
 	}
 	if cfg.JournalPath != "" {
@@ -238,7 +253,7 @@ func (s *Server) replayJournal() {
 		}
 		sopts := screen.DefaultOptions()
 		sopts.Threshold = req.Screen
-		prep, predicted, err := prepare(&req, s.cfg.BuilderThreads, sopts)
+		prep, predicted, err := prepare(&req, s.cfg.BuilderThreads, sopts, s.cfg.Calibrator)
 		if err != nil {
 			drop(err)
 			continue
@@ -260,6 +275,43 @@ func (s *Server) replayJournal() {
 			continue
 		}
 		s.reg.Counter("journal.replayed").Add(1)
+	}
+}
+
+// calibStoreKey is the store key of the persisted calibrator state. It
+// shares the store's namespace with results, densities and ERI images,
+// so one fleet-wide store carries one fleet-wide cost model.
+const calibStoreKey = "calib:model"
+
+// restoreCalibrator warm-starts the configured calibrator from the
+// store, when a previous process persisted one: a restarted server (or
+// another fleet instance on the same store) prices with the learned
+// factors from the first request instead of re-learning from scratch.
+func (s *Server) restoreCalibrator() {
+	if s.cfg.Calibrator == nil {
+		return
+	}
+	b, ok := s.store.Get(calibStoreKey)
+	if !ok {
+		return
+	}
+	if err := s.cfg.Calibrator.UnmarshalBinary(b); err == nil {
+		s.reg.Counter("calib.restored").Add(1)
+	}
+}
+
+// persistCalibrator saves the calibrator state to the store, so the
+// factors learned by this process survive a restart.
+func (s *Server) persistCalibrator() {
+	if s.cfg.Calibrator == nil || s.cfg.Calibrator.Observations() == 0 {
+		return
+	}
+	b, err := s.cfg.Calibrator.MarshalBinary()
+	if err != nil {
+		return
+	}
+	if err := s.store.Put(calibStoreKey, b); err == nil {
+		s.reg.Counter("calib.persisted").Add(1)
 	}
 }
 
@@ -309,6 +361,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	go func() { s.workerWG.Wait(); close(done) }()
 	select {
 	case <-done:
+		s.persistCalibrator()
 		var err error
 		if s.journal != nil {
 			err = s.journal.close()
@@ -410,6 +463,7 @@ func (st *workerState) builderFor(j *job, s *Server) *hfx.Builder {
 	opts.Threads = s.cfg.BuilderThreads
 	opts.DensityWeighted = *j.req.DensityWeighted
 	opts.CacheBudgetBytes = int64(j.req.CacheMB) << 20
+	opts.Calibrator = s.cfg.Calibrator
 	st.builder = hfx.NewBuilder(j.prep.eng, j.prep.scr, opts)
 	st.key = j.prep.builderKey
 	st.prep = j.prep
@@ -432,6 +486,10 @@ func (st *workerState) distBuilderFor(j *job, s *Server) (*hfx.DistBuilder, erro
 	st.close(s)
 	opts := hfx.DefaultOptions()
 	opts.DensityWeighted = *j.req.DensityWeighted
+	// No calibrator here: calibrated placement would regroup the partial
+	// sums and drift the distributed bits away from the single-rank build,
+	// violating the invariant that lets ranks stay out of the result cache
+	// key. The single-rank builders feed the calibrator instead.
 	d, err := hfx.NewDistBuilder(j.prep.eng, j.prep.scr, hfx.DistOptions{
 		Ranks:    j.req.Ranks,
 		Schedule: mprt.DimExchange,
@@ -545,6 +603,7 @@ func (s *Server) scfConfig(req *JobRequest) scf.Config {
 	hopts.Threads = s.cfg.BuilderThreads
 	hopts.DensityWeighted = *req.DensityWeighted
 	hopts.CacheBudgetBytes = int64(req.CacheMB) << 20
+	hopts.Calibrator = s.cfg.Calibrator
 	return scf.Config{
 		Basis:      req.Basis,
 		Functional: f,
@@ -812,7 +871,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	// the pair list (the paper's predictability claim, repurposed).
 	sopts := screen.DefaultOptions()
 	sopts.Threshold = req.Screen
-	prep, predicted, err := prepare(&req, s.cfg.BuilderThreads, sopts)
+	prep, predicted, err := prepare(&req, s.cfg.BuilderThreads, sopts, s.cfg.Calibrator)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -916,6 +975,13 @@ func (s *Server) snapshot() metricsSnapshot {
 		Phases:     map[string]float64{},
 	}
 	s.reg.Gauge("jobs.queued").Set(int64(snap.QueueDepth))
+	if cal := s.cfg.Calibrator; cal != nil {
+		// The calibration gauges: model version, total samples, and the
+		// residual-error EMA in thousandths (gauges are integral).
+		s.reg.Gauge("calib.epoch").Set(int64(cal.Epoch()))
+		s.reg.Gauge("calib.observations").Set(cal.Observations())
+		s.reg.Gauge("calib.err_milli").Set(int64(cal.MeanAbsErr() * 1000))
+	}
 	for _, c := range s.reg.Counters() {
 		snap.Counters[c.Name] = c.Value
 	}

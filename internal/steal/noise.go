@@ -1,0 +1,80 @@
+package steal
+
+import (
+	"math"
+	"time"
+)
+
+// NoisePlan injects cost-model mispredictions and stragglers into a
+// build without touching the arithmetic: Perturb distorts the *placement
+// model* (the costs the static balancer sees), so the assignment is
+// computed from wrong predictions while the true work is unchanged, and
+// StragglerDelay slows one rank's execution. Both are deterministic
+// given the seed and — because the per-task noise depends only on the
+// task index — independent of the rank count, so a noisy distributed
+// run and its noisy single-rank reference share one placement.
+type NoisePlan struct {
+	// Seed drives the per-task multiplicative noise.
+	Seed uint64
+	// Pct is the multiplicative noise amplitude: each task's predicted
+	// cost is scaled by a uniform factor in [1-Pct, 1+Pct]. 0 disables.
+	Pct float64
+	// ClassSkew multiplies the predicted cost of every task of a work
+	// class by the given factor — the adversarial systematic mispredict
+	// (e.g. "the model thinks pp quartets are 3x cheaper than they are").
+	ClassSkew map[int]float64
+	// StragglerSlow > 0 enables the straggler: rank StragglerRank sleeps
+	// an extra StragglerSlow×wall after each unit (1.0 = the rank runs at
+	// half speed). The slowdown moves wall-clock only, never bits.
+	StragglerRank int
+	StragglerSlow float64
+}
+
+// Perturb returns a copy of costs distorted by the plan: per-task
+// multiplicative noise plus per-class skew. classes may be nil when no
+// ClassSkew is configured. A nil plan returns costs unchanged (shared).
+func (n *NoisePlan) Perturb(costs []float64, classes []int) []float64 {
+	if n == nil || (n.Pct == 0 && len(n.ClassSkew) == 0) {
+		return costs
+	}
+	out := make([]float64, len(costs))
+	for i, c := range costs {
+		f := 1.0
+		if n.Pct > 0 {
+			f += n.Pct * (2*unitRand(n.Seed, uint64(i)) - 1)
+		}
+		if len(n.ClassSkew) > 0 && classes != nil {
+			if s, ok := n.ClassSkew[classes[i]]; ok {
+				f *= s
+			}
+		}
+		if f < 1e-3 {
+			f = 1e-3 // keep the placement model positive
+		}
+		out[i] = c * f
+	}
+	return out
+}
+
+// StragglerDelay returns the extra sleep a rank owes after executing a
+// unit that took wall. Zero for non-stragglers and nil plans.
+func (n *NoisePlan) StragglerDelay(rank int, wall time.Duration) time.Duration {
+	if n == nil || n.StragglerSlow <= 0 || rank != n.StragglerRank {
+		return 0
+	}
+	return time.Duration(float64(wall) * n.StragglerSlow)
+}
+
+// unitRand maps (seed, i) to a uniform float64 in [0, 1) via two rounds
+// of splitmix64 — stateless, so task i's noise never depends on the
+// order tasks are drawn in.
+func unitRand(seed, i uint64) float64 {
+	x := seed ^ (i+1)*0x9e3779b97f4a7c15
+	for r := 0; r < 2; r++ {
+		x += 0x9e3779b97f4a7c15
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		x ^= x >> 31
+	}
+	return math.Float64frombits(0x3ff0000000000000|x>>12) - 1
+}

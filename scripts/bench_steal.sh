@@ -1,0 +1,16 @@
+#!/bin/sh
+# Benchmark deterministic work stealing under cost-model mispredicts and
+# emit BENCH_steal.json: the W1 noise sweep (static vs stealing balance
+# at 0/20/50% mispredicts and under a 4x straggler rank, with the
+# bitwise J/K checksum per arm) plus the online-calibration error table.
+# The run gates itself: all arms must stay bitwise identical, stealing
+# must beat the static measured balance on the straggler row, and the
+# final build's calibrated prediction error must undercut the raw cost
+# model's. This file is the committed work-stealing baseline.
+#
+# Usage: scripts/bench_steal.sh [output.json]
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_steal.json}"
+
+go run ./cmd/hfxscale -exp w1 -w1-out "$out"

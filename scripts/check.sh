@@ -26,6 +26,12 @@
 # zero Fock builds on the restarted daemon), and a fast bench_store.sh
 # run whose in-run gates enforce the tier latency ordering, the bitwise
 # ERI spill round trip, and the shared-store fleet hit-ratio gain.
+# The work-stealing runtime gets a race pass (deques, victim order,
+# bitwise steal-vs-static pin under noise, calibrator convergence, the
+# calibrated admission/routing seams) and the full w1 gate run: stealing
+# must beat static measured balance under >=20% mispredicts plus a
+# straggler rank, every arm must stay bitwise identical, and the final
+# build's calibrated prediction error must undercut the raw cost model.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -92,6 +98,23 @@ scripts/smoke_store.sh
 store_json="$(mktemp)"
 S1_FAST=1 scripts/bench_store.sh "$store_json"
 rm -f "$store_json"
+
+# Work-stealing runtime: race pass over the deque/victim-order unit
+# tests, the bitwise steal-vs-static pins (including injected mispredict
+# noise across rank counts), the calibration loop, the pathological
+# Balance property tests, and the calibrated admission/routing seams in
+# the server and fleet.
+go test -race -count=1 ./internal/steal/ ./internal/sched/
+go test -race -count=1 ./internal/hfx/ -run 'TestStealBuild|TestStealRecoversBalance|TestStealBuilder'
+go test -race -count=1 ./internal/server/ -run 'TestPriceRequestCalibrated|TestServerCalibrated|TestRetryAfterUsesCalibratedCosts|TestServerCalibratorPersists'
+go test -race -count=1 ./internal/fleet/ -run 'TestFleetPriceMemo|TestFleetRoutingShifts'
+# W1 gate run: aborts itself if any arm's J/K checksum diverges, if
+# stealing fails to beat the static measured balance on the >=20%
+# mispredict + straggler row, or if the final build's calibrated error
+# is not below the raw model's.
+w1_json="$(mktemp)"
+go run ./cmd/hfxscale -exp w1 -w1-out "$w1_json"
+rm -f "$w1_json"
 
 # Fock bench regression gate against the committed baseline.
 fresh="$(mktemp)"
