@@ -17,6 +17,7 @@ import (
 	"hfxmd/internal/md"
 	"hfxmd/internal/mprt"
 	"hfxmd/internal/opt"
+	"hfxmd/internal/respa"
 	"hfxmd/internal/scf"
 	"hfxmd/internal/sched"
 	"hfxmd/internal/screen"
@@ -341,6 +342,71 @@ func Optimize(mol *Molecule, pot PotentialFunc, opts OptimizeOptions) (*Optimize
 type MDStepError = md.StepError
 
 // ---------------------------------------------------------------------------
+// Multiple-time-step dynamics (r-RESPA) and cross-step reuse.
+
+// RespaOptions configures a multiple-time-step trajectory: K inner
+// steps on a cheap reference force per full-surface evaluation.
+type RespaOptions = respa.Options
+
+// RespaEvaluator is the full (slow) surface: energy plus forces.
+type RespaEvaluator = respa.Evaluator
+
+// RespaForceField is the cheap (fast) reference surface: forces only.
+type RespaForceField = respa.ForceField
+
+// The built-in cheap-reference modes of BuildRespaReference.
+const (
+	RespaRefSpring   = respa.RefSpring
+	RespaRefLoose    = respa.RefLoose
+	RespaRefBaseline = respa.RefBaseline
+)
+
+// RunRESPA integrates an r-RESPA trajectory: inner velocity Verlet on
+// the cheap force at δt, the slow correction F_full − F_cheap applied
+// every K-th step. Checkpoint/resume composes with CkptWriter exactly
+// as RunMD's does and stays bitwise across boundaries.
+func RunRESPA(mol *Molecule, full RespaEvaluator, cheap RespaForceField, opts RespaOptions) (*Trajectory, error) {
+	return respa.Run(mol, full, cheap, opts)
+}
+
+// RespaFDEvaluator lifts a PotentialFunc into a full-surface evaluator
+// via central finite differences (the same displacement order RunMD
+// uses, so k=1 RESPA matches plain BOMD step for step).
+func RespaFDEvaluator(pot PotentialFunc, h float64, workers int) RespaEvaluator {
+	return respa.FDEvaluator(pot, h, workers)
+}
+
+// BuildRespaReference resolves a named cheap-force mode ("spring",
+// "loose", "baseline") against the initial geometry and model
+// chemistry, returning the force field and its canonical label.
+func BuildRespaReference(mode string, mol *Molecule, cfg SCFConfig, fdStep float64, workers int) (RespaForceField, string, error) {
+	return respa.BuildReference(mode, mol, cfg, fdStep, workers)
+}
+
+// MDSession carries SCF state across the consecutive geometries of one
+// trajectory: ΔP warm starts from the previous step's density,
+// screening-pair-list reuse under a max-displacement invalidation
+// bound, and in-place exchange-builder rebinding.
+type MDSession = md.Session
+
+// MDSessionOptions configures cross-step reuse.
+type MDSessionOptions = md.SessionOptions
+
+// MDSessionStats counts a session's reuse traffic.
+type MDSessionStats = md.SessionStats
+
+// NewMDSession prepares a reuse session for one model chemistry.
+func NewMDSession(cfg SCFConfig, opt MDSessionOptions) *MDSession { return md.NewSession(cfg, opt) }
+
+// ForcesNSeeded computes central finite-difference forces with every
+// displaced SCF warm-started from the central converged density.
+// Returns the forces, the central result and the displaced-run SCF
+// iteration total.
+func ForcesNSeeded(mol *Molecule, cfg SCFConfig, h float64, workers int) ([]Vec3, *SCFResult, int64, error) {
+	return md.ForcesNSeeded(mol, cfg, h, workers)
+}
+
+// ---------------------------------------------------------------------------
 // Checkpoint/restart layer.
 
 // CkptConfig configures a trajectory checkpoint writer: directory,
@@ -485,6 +551,14 @@ type ScanSummary = server.ScanSummary
 
 // ScanPointJSON is one point of a ScanSummary profile.
 type ScanPointJSON = server.ScanPointJSON
+
+// TrajSummary is the shared JSON encoding of a trajectory-campaign job
+// (hfxd wire format): per-outer-step records, drift, reuse counters and
+// the bitwise final-state fingerprint.
+type TrajSummary = server.TrajSummary
+
+// TrajStepJSON is one completed outer step of a TrajSummary.
+type TrajStepJSON = server.TrajStepJSON
 
 // SummarizeSCF converts a converged SCF result into the shared wire
 // encoding.

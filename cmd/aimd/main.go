@@ -7,6 +7,11 @@
 //	aimd -system h2 -steps 20 -dt 0.4 -functional HF
 //	aimd -system water -steps 10 -functional PBE0 -temp 300
 //
+// Multiple time stepping (r-RESPA): the full surface every k-th step,
+// a cheap reference force in between. -steps then counts outer steps:
+//
+//	aimd -system h2 -steps 10 -k 4 -ref spring -functional PBE0
+//
 // Checkpointed trajectory, killed and resumed:
 //
 //	aimd -system h2 -steps 200 -ckpt-dir run1 -ckpt-every 10   # SIGKILL it
@@ -44,6 +49,9 @@ func main() {
 		temp       = flag.Float64("temp", 0, "initial temperature in K (0 = static start)")
 		thermostat = flag.Bool("thermostat", false, "enable Berendsen thermostat")
 		seed       = flag.Int64("seed", 7, "velocity-initialisation seed")
+
+		respaK = flag.Int("k", 1, "RESPA inner steps per full-force evaluation (1 = plain velocity Verlet; with k>1, -steps counts outer steps and -dt is the inner timestep)")
+		ref    = flag.String("ref", "spring", "RESPA cheap reference force: spring|loose|baseline (only with -k > 1)")
 
 		storeDir = flag.String("store-dir", "", "tiered store directory: each SCF warm-starts from the previous step's converged density (same tolerance, different bits than a cold run)")
 
@@ -116,8 +124,13 @@ func main() {
 	}
 
 	if !*jsonOut {
-		fmt.Printf("BOMD: %s, %s/%s, %d steps of %.2f fs, T0=%.0fK thermostat=%v\n",
-			mol.Name, *functional, *basisName, *steps, *dt, *temp, *thermostat)
+		if *respaK > 1 {
+			fmt.Printf("RESPA BOMD: %s, %s/%s, %d outer steps x %d inner of %.2f fs (ref %s), T0=%.0fK thermostat=%v\n",
+				mol.Name, *functional, *basisName, *steps, *respaK, *dt, *ref, *temp, *thermostat)
+		} else {
+			fmt.Printf("BOMD: %s, %s/%s, %d steps of %.2f fs, T0=%.0fK thermostat=%v\n",
+				mol.Name, *functional, *basisName, *steps, *dt, *temp, *thermostat)
+		}
 		if res != nil {
 			fmt.Printf("resumed from step %d (snapshot %d, journal %d, %d replayed, %d fallbacks)\n",
 				res.State.Step, res.SnapshotStep, res.JournalStep, res.ReplayedSteps, res.Fallbacks)
@@ -126,7 +139,24 @@ func main() {
 	}
 
 	t0 := time.Now()
-	traj, err := hfxmd.RunMD(mol, pot, opts)
+	var traj *hfxmd.Trajectory
+	var err error
+	if *respaK > 1 {
+		// Multiple time stepping: the full surface (FD forces on the SCF
+		// potential, including any store-seeded variant) every k-th step,
+		// the named cheap reference in between.
+		cheap, label, rerr := hfxmd.BuildRespaReference(*ref, mol, scfCfg, 0, 0)
+		if rerr != nil {
+			log.Fatal(rerr)
+		}
+		traj, err = hfxmd.RunRESPA(mol, hfxmd.RespaFDEvaluator(pot, 0, 0), cheap, hfxmd.RespaOptions{
+			Steps: *steps, K: *respaK, Dt: *dt, TemperatureK: *temp,
+			Thermostat: *thermostat, Seed: *seed, RefLabel: label,
+			Ckpt: opts.Ckpt, Resume: opts.Resume,
+		})
+	} else {
+		traj, err = hfxmd.RunMD(mol, pot, opts)
+	}
 	if err != nil {
 		var se *hfxmd.MDStepError
 		if errors.As(err, &se) {
@@ -138,6 +168,9 @@ func main() {
 
 	if *jsonOut {
 		sum := hfxmd.SummarizeMD(traj, wall)
+		if *respaK > 1 {
+			sum.RespaK = *respaK
+		}
 		if res != nil {
 			step := res.State.Step
 			sum.ResumedFromStep = &step

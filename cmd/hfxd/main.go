@@ -56,19 +56,22 @@ func main() {
 		journal  = flag.String("journal", "", "crash-safe job journal path (empty disables); queued and running jobs are re-enqueued on boot")
 		calib    = flag.Bool("calibrate", true, "learn per-class cost factors from measured block walls; admission prices and Retry-After move to measured units (persists under -store-dir)")
 
-		submit = flag.Bool("submit", false, "client mode: submit one job and print the JSON result")
-		url    = flag.String("url", "http://127.0.0.1:8080", "server URL for -submit")
-		kind   = flag.String("kind", "scf", "job kind for -submit: scf|buildjk|screen|solvent-scan")
-		system = flag.String("system", "water", "built-in system for -submit")
-		basis  = flag.String("basis", "STO-3G", "basis set for -submit")
-		funcnl = flag.String("functional", "HF", "functional for -submit")
-		eps    = flag.Float64("screen", 1e-8, "screening threshold for -submit")
-		points = flag.Int("points", 5, "scan points for -submit -kind solvent-scan")
+		submit  = flag.Bool("submit", false, "client mode: submit one job and print the JSON result")
+		url     = flag.String("url", "http://127.0.0.1:8080", "server URL for -submit")
+		kind    = flag.String("kind", "scf", "job kind for -submit: scf|buildjk|screen|solvent-scan|trajectory")
+		system  = flag.String("system", "water", "built-in system for -submit")
+		basis   = flag.String("basis", "STO-3G", "basis set for -submit")
+		funcnl  = flag.String("functional", "HF", "functional for -submit")
+		eps     = flag.Float64("screen", 1e-8, "screening threshold for -submit")
+		points  = flag.Int("points", 5, "scan points for -submit -kind solvent-scan")
+		mdSteps = flag.Int("md-steps", 4, "outer MD steps for -submit -kind trajectory")
+		respaK  = flag.Int("respa-k", 2, "RESPA inner steps per full force for -submit -kind trajectory")
+		mdRef   = flag.String("md-ref", "spring", "cheap reference force for -submit -kind trajectory: spring|loose|baseline")
 	)
 	flag.Parse()
 
 	if *submit {
-		if err := runSubmit(*url, *kind, *system, *basis, *funcnl, *eps, *points); err != nil {
+		if err := runSubmit(*url, *kind, *system, *basis, *funcnl, *eps, *points, *mdSteps, *respaK, *mdRef); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -131,17 +134,23 @@ func main() {
 	}
 }
 
-func runSubmit(url, kind, system, basis, functional string, eps float64, points int) error {
+func runSubmit(url, kind, system, basis, functional string, eps float64, points, mdSteps, respaK int, mdRef string) error {
 	req := server.JobRequest{
 		Kind:       kind,
 		Basis:      basis,
 		Functional: functional,
 		Screen:     eps,
 	}
-	if kind == server.KindSolventScan {
+	switch kind {
+	case server.KindSolventScan:
 		req.Solvent = system
 		req.Points = points
-	} else {
+	case server.KindTrajectory:
+		req.System = system
+		req.MaxSteps = mdSteps
+		req.RespaK = respaK
+		req.Ref = mdRef
+	default:
 		req.System = system
 	}
 	c := server.NewClient(url)

@@ -23,10 +23,12 @@ var (
 	c1Scale     float64
 )
 
-// c1Mix is the repeated-key job mix of the fleet benchmark: four
-// distinct canonical keys across three job types and two SLO classes,
+// c1Mix is the repeated-key job mix of the fleet benchmark: five
+// distinct canonical keys across four job types and three SLO classes,
 // so a couple of dozen events revisit every key several times — the
-// traffic shape cache-affinity routing is built for.
+// traffic shape cache-affinity routing is built for. The campaign entry
+// is a short k>1 RESPA trajectory: the longest-running, most expensive
+// key in the mix, exactly the job class MD campaigns submit.
 func c1Mix() []workload.MixEntry {
 	return []workload.MixEntry{
 		{Name: "probe", Class: "interactive", Weight: 3, KeyPool: 2,
@@ -35,6 +37,9 @@ func c1Mix() []workload.MixEntry {
 			Request: server.JobRequest{Kind: server.KindScreen, System: "lih"}},
 		{Name: "fock", Class: "batch", Weight: 1,
 			Request: server.JobRequest{Kind: server.KindBuildJK, System: "he"}},
+		{Name: "campaign", Class: "campaign", Weight: 1,
+			Request: server.JobRequest{Kind: server.KindTrajectory, System: "h2",
+				MaxSteps: 2, RespaK: 2, Ref: "spring"}},
 	}
 }
 

@@ -28,7 +28,12 @@
 //	     mispredicts and stragglers: static vs stealing measured balance
 //	     across noise levels (bitwise-identical results), plus the online
 //	     calibration loop's raw-vs-calibrated prediction error across
-//	     successive builds.
+//	     successive builds;
+//	M1 — real multiple-time-step AIMD: the same simulated time span
+//	     integrated at RESPA k ∈ {1,2,4} with the cross-step session,
+//	     SCF iterations per inner step as the cost metric, a k² drift
+//	     gate, a warm-vs-cold reuse gate, and a mid-cycle crash/resume
+//	     bitwise gate.
 //
 // `hfxscale -exp list` prints this table with one-line descriptions.
 //
@@ -95,13 +100,15 @@ var experiments = []struct {
 		"routing-policy matrix over steady/bursty workloads, SLO report", expC1},
 	{"s1", "S1: tiered content-addressed store (real)",
 		"cold/disk-warm/RAM-warm latency, ERI spill warm, fleet shared-store hits", expS1},
+	{"m1", "M1: multiple-time-step AIMD cost and drift (real)",
+		"RESPA k sweep: SCF iters/step, drift gate, warm/cold reuse, bitwise resume", expM1},
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hfxscale: ")
 	var (
-		exp    = flag.String("exp", "all", "experiment: e1|e2|e3|a1|a2|wk|m0|p1|d1|c1|s1|w1|all|list")
+		exp    = flag.String("exp", "all", "experiment: e1|e2|e3|a1|a2|wk|m0|p1|d1|c1|s1|w1|m1|all|list")
 		waters = flag.Int("waters", 4096, "condensed-phase system size (H2O molecules)")
 		tasks  = flag.Int("tasks", 3<<20, "node-level task count of the paper decomposition")
 		seed   = flag.Int64("seed", 1, "workload seed")
@@ -130,6 +137,9 @@ func main() {
 	flag.IntVar(&w1Builds, "w1-builds", 4, "calibration builds for -exp w1")
 	flag.Uint64Var(&w1Seed, "w1-seed", 7, "noise and victim-order seed for -exp w1")
 	flag.StringVar(&w1Out, "w1-out", "", "write the -exp w1 steal benchmark to this JSON file")
+	flag.IntVar(&m1Steps, "m1-steps", 16, "inner MD steps (the simulated time span) for -exp m1; multiple of 4")
+	flag.Float64Var(&m1Dt, "m1-dt", 0.25, "inner timestep in fs for -exp m1")
+	flag.StringVar(&m1Out, "m1-out", "", "write the -exp m1 MTS benchmark to this JSON file")
 	flag.Parse()
 
 	want := strings.ToLower(*exp)

@@ -63,10 +63,19 @@ import (
 // MDState is the complete, restartable state of an MD trajectory after
 // a given step: everything md.Run needs to continue bit-for-bit.
 type MDState struct {
-	// Step is the last completed MD step.
+	// Step is the last completed MD step. For a RESPA trajectory it
+	// counts *inner* steps, so Step mod k locates the state within the
+	// outer cycle.
 	Step int64
 	// Pos, Vel, Frc are positions, velocities and forces (bohr, a.u.).
+	// For a RESPA trajectory Frc holds the cheap reference force.
 	Pos, Vel, Frc []chem.Vec3
+	// Slow, when non-nil, marks the state as belonging to a RESPA
+	// (multiple-time-step) trajectory and holds the slow correction
+	// force F_full − F_cheap of the current outer cycle. Its presence
+	// switches the encoding to version 2; plain MD states (Slow nil)
+	// keep the byte-identical version-1 image.
+	Slow []chem.Vec3
 	// Epot is the potential energy at Pos in hartree.
 	Epot float64
 	// ELo/EHi are the accumulated extrema of the conserved total energy
@@ -87,6 +96,9 @@ func (s *MDState) Clone() *MDState {
 	c.Pos = append([]chem.Vec3(nil), s.Pos...)
 	c.Vel = append([]chem.Vec3(nil), s.Vel...)
 	c.Frc = append([]chem.Vec3(nil), s.Frc...)
+	if s.Slow != nil {
+		c.Slow = append([]chem.Vec3(nil), s.Slow...)
+	}
 	return &c
 }
 
@@ -111,16 +123,30 @@ func (e *CorruptError) Error() string {
 // encoding is the durability *and* identity format — the aimd -json
 // finalStateSha256 is a hash of exactly these bytes.
 
-// stateVersion is bumped on any change to the EncodeState layout.
-const stateVersion = 1
+// stateVersion is the layout of plain MD states. Version 2 appends the
+// RESPA slow-force vectors and is emitted only when MDState.Slow is set,
+// so every pre-existing version-1 byte image (and the finalStateSha256
+// of plain trajectories) is unchanged.
+const (
+	stateVersion      = 1
+	stateVersionRESPA = 2
+)
+
+// stateEncodingVersion returns the layout version a state serialises as.
+func stateEncodingVersion(s *MDState) uint64 {
+	if s.Slow != nil {
+		return stateVersionRESPA
+	}
+	return stateVersion
+}
 
 // EncodeState serialises a state to its canonical binary image.
 func EncodeState(s *MDState) []byte {
 	n := len(s.Pos)
-	buf := make([]byte, 0, 8*8+3*24*n+8*3)
+	buf := make([]byte, 0, 8*8+4*24*n+8*3)
 	u64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
 	f64 := func(v float64) { u64(math.Float64bits(v)) }
-	u64(stateVersion)
+	u64(stateEncodingVersion(s))
 	u64(uint64(s.Step))
 	u64(uint64(n))
 	f64(s.Epot)
@@ -130,7 +156,11 @@ func EncodeState(s *MDState) []byte {
 	u64(s.RNG[1])
 	u64(s.RNG[2])
 	u64(s.ParamsHash)
-	for _, vs := range [][]chem.Vec3{s.Pos, s.Vel, s.Frc} {
+	fields := [][]chem.Vec3{s.Pos, s.Vel, s.Frc}
+	if s.Slow != nil {
+		fields = append(fields, s.Slow)
+	}
+	for _, vs := range fields {
 		for _, v := range vs {
 			f64(v[0])
 			f64(v[1])
@@ -140,7 +170,7 @@ func EncodeState(s *MDState) []byte {
 	return buf
 }
 
-// DecodeState parses an EncodeState image.
+// DecodeState parses an EncodeState image (either layout version).
 func DecodeState(b []byte) (*MDState, error) {
 	if len(b) < 10*8 {
 		return nil, fmt.Errorf("ckpt: state image too short (%d bytes)", len(b))
@@ -152,14 +182,19 @@ func DecodeState(b []byte) (*MDState, error) {
 		return v
 	}
 	f64 := func() float64 { return math.Float64frombits(u64()) }
-	if v := u64(); v != stateVersion {
-		return nil, fmt.Errorf("ckpt: state version %d, want %d", v, stateVersion)
+	ver := u64()
+	if ver != stateVersion && ver != stateVersionRESPA {
+		return nil, fmt.Errorf("ckpt: state version %d, want %d or %d", ver, stateVersion, stateVersionRESPA)
 	}
 	s := &MDState{}
 	s.Step = int64(u64())
 	n := int(u64())
-	if want := 10*8 + 3*24*n; len(b) != want {
-		return nil, fmt.Errorf("ckpt: state image %d bytes, want %d for %d atoms", len(b), want, n)
+	nvec := 3
+	if ver == stateVersionRESPA {
+		nvec = 4
+	}
+	if want := 10*8 + nvec*24*n; len(b) != want {
+		return nil, fmt.Errorf("ckpt: state image %d bytes, want %d for %d atoms (version %d)", len(b), want, n, ver)
 	}
 	s.Epot = f64()
 	s.ELo = f64()
@@ -178,6 +213,9 @@ func DecodeState(b []byte) (*MDState, error) {
 	s.Pos = vecs()
 	s.Vel = vecs()
 	s.Frc = vecs()
+	if ver == stateVersionRESPA {
+		s.Slow = vecs()
+	}
 	return s, nil
 }
 

@@ -17,7 +17,8 @@ import (
 // snapMagic identifies (and versions) the snapshot container format.
 const snapMagic = "HFXCKPT\x01"
 
-// Section names of a snapshot, in file order.
+// Section names of a snapshot, in file order. SectionSlow is present
+// only for RESPA states (layout version 2).
 const (
 	SectionMeta       = "meta"
 	SectionEnergies   = "energies"
@@ -25,11 +26,22 @@ const (
 	SectionPositions  = "positions"
 	SectionVelocities = "velocities"
 	SectionForces     = "forces"
+	SectionSlow       = "slow"
 )
 
 var sectionOrder = []string{
 	SectionMeta, SectionEnergies, SectionRNG,
 	SectionPositions, SectionVelocities, SectionForces,
+}
+
+// sectionsFor returns the file order for a state: the RESPA slow-force
+// section is appended only when present, keeping plain-MD snapshot
+// bytes unchanged.
+func sectionsFor(s *MDState) []string {
+	if s.Slow == nil {
+		return sectionOrder
+	}
+	return append(append([]string(nil), sectionOrder...), SectionSlow)
 }
 
 // SnapshotName returns the ring filename of a step's snapshot.
@@ -65,14 +77,18 @@ func encodeSections(s *MDState) map[string][]byte {
 		}
 		return b
 	}
-	return map[string][]byte{
-		SectionMeta:       u64s(stateVersion, uint64(s.Step), uint64(len(s.Pos)), s.ParamsHash),
+	sects := map[string][]byte{
+		SectionMeta:       u64s(stateEncodingVersion(s), uint64(s.Step), uint64(len(s.Pos)), s.ParamsHash),
 		SectionEnergies:   u64s(math.Float64bits(s.Epot), math.Float64bits(s.ELo), math.Float64bits(s.EHi)),
 		SectionRNG:        u64s(s.RNG[0], s.RNG[1], s.RNG[2]),
 		SectionPositions:  vecs(s.Pos),
 		SectionVelocities: vecs(s.Vel),
 		SectionForces:     vecs(s.Frc),
 	}
+	if s.Slow != nil {
+		sects[SectionSlow] = vecs(s.Slow)
+	}
+	return sects
 }
 
 // WriteSnapshot durably writes one snapshot into dir: temp file in the
@@ -80,10 +96,11 @@ func encodeSections(s *MDState) map[string][]byte {
 // final path.
 func WriteSnapshot(dir string, s *MDState, fsync bool) (string, error) {
 	sects := encodeSections(s)
+	order := sectionsFor(s)
 	var buf []byte
 	buf = append(buf, snapMagic...)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sectionOrder)))
-	for _, name := range sectionOrder {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(order)))
+	for _, name := range order {
 		p := sects[name]
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
 		buf = append(buf, name...)
@@ -203,9 +220,10 @@ func assembleState(path string, sects map[string][]byte) (*MDState, error) {
 	if err != nil {
 		return nil, err
 	}
-	if v := binary.LittleEndian.Uint64(meta); v != stateVersion {
+	ver := binary.LittleEndian.Uint64(meta)
+	if ver != stateVersion && ver != stateVersionRESPA {
 		return nil, &CorruptError{Path: path, Section: SectionMeta,
-			Reason: fmt.Sprintf("state version %d, want %d", v, stateVersion)}
+			Reason: fmt.Sprintf("state version %d, want %d or %d", ver, stateVersion, stateVersionRESPA)}
 	}
 	s := &MDState{
 		Step:       int64(binary.LittleEndian.Uint64(meta[8:])),
@@ -247,6 +265,11 @@ func assembleState(path string, sects map[string][]byte) (*MDState, error) {
 	}
 	if s.Frc, err = vecs(SectionForces); err != nil {
 		return nil, err
+	}
+	if ver == stateVersionRESPA {
+		if s.Slow, err = vecs(SectionSlow); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }

@@ -1,0 +1,342 @@
+package md
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hfxmd/internal/basis"
+	"hfxmd/internal/chem"
+	"hfxmd/internal/hfx"
+	"hfxmd/internal/integrals"
+	"hfxmd/internal/linalg"
+	"hfxmd/internal/scf"
+	"hfxmd/internal/screen"
+	"hfxmd/internal/store"
+)
+
+// SessionOptions configures cross-step reuse.
+type SessionOptions struct {
+	// MaxDisplacement is the pair-list invalidation bound in bohr
+	// (default 0.25): while no atom has moved farther than this from the
+	// geometry the screening pair list was built at, consecutive steps
+	// reuse the list (and the builder's task schedule and ERI-cache
+	// admission plan) instead of re-screening. Past the bound the list,
+	// builder and reference geometry are rebuilt. MD steps move atoms by
+	// ~1e-2 bohr, so one list typically serves tens of steps.
+	MaxDisplacement float64
+	// Store, if non-nil, seeds the *first* step of a session from a
+	// persisted prefix density (the same "density:" namespace hfxd and
+	// StoredSCFPotential share) and persists each converged density
+	// back, so trajectories warm-start across processes and fleet
+	// instances. Within a session the in-memory previous-step density
+	// always wins — it is one step old, the best seed there is.
+	Store *store.Store
+}
+
+// SessionStats counts the session's reuse traffic.
+type SessionStats struct {
+	// Runs counts central SCF evaluations; WarmStarts of them were
+	// seeded from the previous step's density, StoreSeeds from a
+	// persisted prefix density, ColdStarts from the SAD guess.
+	Runs, WarmStarts, StoreSeeds, ColdStarts int64
+	// PairListBuilds/PairListReuses count screening decisions;
+	// a build replaces the builder, a reuse rebinds it in place.
+	PairListBuilds, PairListReuses int64
+	// SCFIterations accumulates iterations over every SCF the session
+	// ran (central and displaced), the machine-independent cost metric
+	// BENCH_mts gates on.
+	SCFIterations int64
+	// DisplacedRuns counts finite-difference displacement SCFs.
+	DisplacedRuns int64
+	// Fallbacks counts seeded runs that failed and were retried cold.
+	Fallbacks int64
+}
+
+// Session carries SCF state across the consecutive geometries of one
+// trajectory: the previous step's converged density (ΔP warm start),
+// the screening pair list under a max-displacement invalidation bound,
+// and a persistent hfx.Builder rebound in place so the semi-direct
+// cache's admission plan and slab memory survive from step to step.
+//
+// A seeded SCF converges to the same tolerance but not the same bits as
+// a cold one, so session trajectories are not bitwise comparable to
+// cold ones — the integrator's checkpoint/resume stays bitwise because
+// forces are stored, not recomputed, across a restore.
+//
+// All methods are safe for concurrent use; evaluations are serialized
+// internally (the shared builder admits one build at a time).
+type Session struct {
+	cfg scf.Config
+	opt SessionOptions
+
+	mu      sync.Mutex
+	prevP   *linalg.Matrix
+	scr     *screen.Result
+	builder *hfx.Builder
+	refPos  []chem.Vec3 // geometry the pair list was built at
+	refEl   []chem.Element
+	stats   SessionStats
+}
+
+// NewSession prepares a reuse session for one model chemistry. The
+// config's Ctx (if any) is honoured by every SCF the session runs, so
+// a server can cancel a trajectory mid-step.
+func NewSession(cfg scf.Config, opt SessionOptions) *Session {
+	if cfg.Basis == "" {
+		cfg.Basis = "STO-3G"
+	}
+	if cfg.Screen == (screen.Options{}) {
+		cfg.Screen = screen.DefaultOptions()
+	}
+	if cfg.HFX == (hfx.Options{}) {
+		cfg.HFX = hfx.DefaultOptions()
+	}
+	if opt.MaxDisplacement <= 0 {
+		opt.MaxDisplacement = 0.25
+	}
+	return &Session{cfg: cfg, opt: opt}
+}
+
+// Close releases the persistent builder.
+func (s *Session) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.builder != nil {
+		s.builder.Close()
+		s.builder = nil
+	}
+}
+
+// Stats returns a snapshot of the reuse counters.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Run performs one SCF at the given geometry with every cross-step
+// shortcut the session has banked: ΔP warm start from the previous
+// converged density, pair-list reuse within the displacement bound, and
+// in-place builder rebinding. A failed seeded run falls back to a cold
+// one (unless the failure is a context cancellation, which propagates).
+func (s *Session) Run(m *chem.Molecule) (*scf.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runLocked(m)
+}
+
+func (s *Session) runLocked(m *chem.Molecule) (*scf.Result, error) {
+	s.stats.Runs++
+	set, err := basis.Build(s.cfg.Basis, m)
+	if err != nil {
+		return nil, err
+	}
+	eng := integrals.NewEngine(set)
+
+	// Screening-list reuse, guarded by composition identity and the
+	// max-displacement invalidation bound.
+	reuse := s.builder != nil && s.sameComposition(m) &&
+		screen.MaxDisplacement(s.refPos, m) <= s.opt.MaxDisplacement
+	if reuse {
+		reuse = s.builder.Rebind(eng) == nil
+	}
+	if reuse {
+		s.stats.PairListReuses++
+	} else {
+		if s.builder != nil {
+			s.builder.Close()
+		}
+		s.scr = screen.BuildPairList(eng, s.cfg.Screen)
+		s.builder = hfx.NewBuilder(eng, s.scr, s.cfg.HFX)
+		s.refPos = positionsOf(m)
+		s.refEl = elementsOf(m)
+		s.stats.PairListBuilds++
+	}
+
+	run := s.cfg
+	run.Screening = s.scr
+	run.ExternalBuilder = s.builder
+	seeded := false
+	switch {
+	case s.prevP != nil && s.prevP.Rows == set.NBasis:
+		run.InitialDensity = s.prevP
+		run.Incremental = true
+		seeded = true
+		s.stats.WarmStarts++
+	case s.opt.Store != nil:
+		key := densityKeyPrefix + scf.DensityPrefixKey(s.cfg, m)
+		if b, ok := s.opt.Store.Get(key); ok {
+			if n, data, err := store.DecodeMatrix(b); err == nil && n == set.NBasis {
+				run.InitialDensity = &linalg.Matrix{Rows: n, Cols: n, Data: data}
+				run.Incremental = true
+				seeded = true
+				s.stats.StoreSeeds++
+			}
+		}
+		if !seeded {
+			s.stats.ColdStarts++
+		}
+	default:
+		s.stats.ColdStarts++
+	}
+
+	res, err := scf.Run(m, run)
+	if err != nil && seeded && (s.cfg.Ctx == nil || s.cfg.Ctx.Err() == nil) {
+		// A stale seed must never fail the trajectory: retry cold on the
+		// same builder (its cache blocks are already at this geometry).
+		s.stats.Fallbacks++
+		cold := s.cfg
+		cold.Screening = s.scr
+		cold.ExternalBuilder = s.builder
+		res, err = scf.Run(m, cold)
+	}
+	if err != nil {
+		return res, err
+	}
+	if res.Iterations > 0 {
+		s.stats.SCFIterations += int64(res.Iterations)
+	}
+	if res.Converged {
+		s.prevP = res.P // scf returns a fresh clone; safe to retain
+		if s.opt.Store != nil {
+			key := densityKeyPrefix + scf.DensityPrefixKey(s.cfg, m)
+			s.opt.Store.Put(key, store.EncodeMatrix(set.NBasis, res.P.Data))
+		}
+	}
+	return res, nil
+}
+
+// Potential adapts the session into a PotentialFunc: energy with every
+// cross-step shortcut applied.
+func (s *Session) Potential() PotentialFunc {
+	return func(m *chem.Molecule) (float64, error) {
+		res, err := s.Run(m)
+		if err != nil {
+			return 0, err
+		}
+		if !res.Converged {
+			return res.Energy, fmt.Errorf("md: SCF not converged at this geometry")
+		}
+		return res.Energy, nil
+	}
+}
+
+// Forces evaluates the full surface at m — energy plus central
+// finite-difference forces — with the two-level warm start: the central
+// SCF seeds from the previous step's density (session state), and every
+// displaced SCF seeds from the central converged density, sharing the
+// session's pair list. This is the per-outer-step evaluation a RESPA
+// trajectory makes.
+func (s *Session) Forces(m *chem.Molecule, h float64, workers int) ([]chem.Vec3, float64, error) {
+	s.mu.Lock()
+	res, err := s.runLocked(m)
+	if err == nil && !res.Converged {
+		err = fmt.Errorf("md: SCF not converged at this geometry")
+	}
+	var base scf.Config
+	var scr *screen.Result
+	if err == nil {
+		base = s.cfg
+		scr = s.scr
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return nil, 0, err
+	}
+	f, iters, derr := seededForces(m, base, scr, res.P, h, workers)
+	s.mu.Lock()
+	s.stats.SCFIterations += iters
+	s.stats.DisplacedRuns += int64(6 * m.NAtoms())
+	s.mu.Unlock()
+	if derr != nil {
+		return nil, 0, derr
+	}
+	return f, res.Energy, nil
+}
+
+// ForcesNSeeded is the standalone form of the displaced-run warm start:
+// one cold central SCF, then the 6N finite-difference displacements
+// each seeded from the central converged density with incremental ΔP
+// builds (instead of rebuilding SCF from scratch per displacement).
+// Forces agree with the cold path to finite-difference accuracy — the
+// seeded runs converge to the same tolerance, not the same bits — and
+// the returned iteration count is the displaced-run total, measurably
+// below the cold path's. The central result is returned so callers can
+// reuse its energy and density.
+func ForcesNSeeded(mol *chem.Molecule, cfg scf.Config, h float64, workers int) ([]chem.Vec3, *scf.Result, int64, error) {
+	central, err := scf.Run(mol, cfg)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if !central.Converged {
+		return nil, central, 0, fmt.Errorf("md: central SCF not converged")
+	}
+	f, iters, err := seededForces(mol, cfg, nil, central.P, h, workers)
+	if err != nil {
+		return nil, central, iters, err
+	}
+	return f, central, iters, nil
+}
+
+// seededForces runs ForcesN with a potential whose SCF starts from the
+// central density (and optionally shares a pair list built at the
+// central geometry — valid for FD-sized displacements). Returns the
+// total displaced-run SCF iterations.
+func seededForces(mol *chem.Molecule, cfg scf.Config, scr *screen.Result, centralP *linalg.Matrix, h float64, workers int) ([]chem.Vec3, int64, error) {
+	var iters atomic.Int64
+	pot := func(dm *chem.Molecule) (float64, error) {
+		run := cfg
+		run.Screening = scr
+		run.InitialDensity = centralP // scf clones it; shared read-only
+		run.Incremental = true
+		res, err := scf.Run(dm, run)
+		if err != nil || !res.Converged {
+			if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+				return 0, err
+			}
+			// Seed rejected at this displacement: pay the cold price.
+			res, err = scf.Run(dm, cfg)
+			if err != nil {
+				return 0, err
+			}
+		}
+		iters.Add(int64(res.Iterations))
+		if !res.Converged {
+			return res.Energy, fmt.Errorf("md: SCF not converged at displaced geometry")
+		}
+		return res.Energy, nil
+	}
+	f, err := ForcesN(mol, pot, h, workers)
+	return f, iters.Load(), err
+}
+
+func positionsOf(m *chem.Molecule) []chem.Vec3 {
+	pos := make([]chem.Vec3, m.NAtoms())
+	for i, a := range m.Atoms {
+		pos[i] = a.Pos
+	}
+	return pos
+}
+
+func elementsOf(m *chem.Molecule) []chem.Element {
+	els := make([]chem.Element, m.NAtoms())
+	for i, a := range m.Atoms {
+		els[i] = a.El
+	}
+	return els
+}
+
+// sameComposition reports whether m matches the pair-list reference
+// system atom for atom.
+func (s *Session) sameComposition(m *chem.Molecule) bool {
+	if len(s.refEl) != m.NAtoms() {
+		return false
+	}
+	for i, a := range m.Atoms {
+		if a.El != s.refEl[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,201 @@
+package md
+
+import (
+	"math"
+	"testing"
+
+	"hfxmd/internal/chem"
+	"hfxmd/internal/scf"
+)
+
+func sessionCfg() scf.Config { return scf.Config{Basis: "STO-3G"} }
+
+// nudged returns LiH with atom 1 displaced along z by dz bohr. LiH
+// (not h2) because a 2-function system converges in ~3 iterations from
+// any guess, leaving no headroom to measure warm-start savings.
+func nudged(dz float64) *chem.Molecule {
+	m := chem.LithiumHydride()
+	m.Atoms[1].Pos[2] += dz
+	return m
+}
+
+// TestSessionWarmStartReducesIterations drives a session through a
+// sequence of MD-sized geometry steps and checks the two cross-step
+// claims: the ΔP-seeded SCFs converge in measurably fewer iterations
+// than cold ones at the same geometries, to energies that agree with
+// the cold answers to convergence tolerance; and the screening pair
+// list is built once and rebound thereafter.
+func TestSessionWarmStartReducesIterations(t *testing.T) {
+	steps := []float64{0, 0.01, 0.02, 0.03, 0.04}
+
+	var coldIters int64
+	coldE := make([]float64, len(steps))
+	for i, dz := range steps {
+		res, err := scf.Run(nudged(dz), sessionCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldIters += int64(res.Iterations)
+		coldE[i] = res.Energy
+	}
+
+	s := NewSession(sessionCfg(), SessionOptions{})
+	defer s.Close()
+	for i, dz := range steps {
+		res, err := s.Run(nudged(dz))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("step %d did not converge", i)
+		}
+		if d := math.Abs(res.Energy - coldE[i]); d > 1e-7 {
+			t.Fatalf("step %d: seeded energy off by %.3e Eh from cold", i, d)
+		}
+	}
+	st := s.Stats()
+	if st.Runs != int64(len(steps)) || st.WarmStarts != int64(len(steps)-1) || st.ColdStarts != 1 {
+		t.Fatalf("stats %+v: want %d runs, %d warm starts, 1 cold", st, len(steps), len(steps)-1)
+	}
+	if st.PairListBuilds != 1 || st.PairListReuses != int64(len(steps)-1) {
+		t.Fatalf("stats %+v: pair list should be built once and rebound %d times", st, len(steps)-1)
+	}
+	if st.SCFIterations >= coldIters {
+		t.Fatalf("warm session took %d SCF iterations, cold sequence %d — no reduction", st.SCFIterations, coldIters)
+	}
+	t.Logf("SCF iterations: warm %d vs cold %d", st.SCFIterations, coldIters)
+}
+
+// TestSessionInvalidationBound: a displacement past MaxDisplacement
+// must rebuild the pair list (and reset the reuse reference), one
+// within the bound must rebind.
+func TestSessionInvalidationBound(t *testing.T) {
+	s := NewSession(sessionCfg(), SessionOptions{MaxDisplacement: 0.05})
+	defer s.Close()
+	for _, dz := range []float64{0, 0.04} { // within bound
+		if _, err := s.Run(nudged(dz)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.PairListBuilds != 1 || st.PairListReuses != 1 {
+		t.Fatalf("within-bound step should rebind, stats %+v", st)
+	}
+	if _, err := s.Run(nudged(0.2)); err != nil { // past bound vs reference at 0
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.PairListBuilds != 2 {
+		t.Fatalf("past-bound step should rebuild the pair list, stats %+v", st)
+	}
+	// The reference moved to 0.2: a nearby geometry rebinds again.
+	if _, err := s.Run(nudged(0.21)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.PairListBuilds != 2 || st.PairListReuses != 2 {
+		t.Fatalf("post-rebuild step should rebind against the new reference, stats %+v", st)
+	}
+}
+
+// TestSessionCompositionChange: a different system can never reuse the
+// builder, whatever the displacement metric says.
+func TestSessionCompositionChange(t *testing.T) {
+	s := NewSession(sessionCfg(), SessionOptions{MaxDisplacement: 1e9})
+	defer s.Close()
+	if _, err := s.Run(chem.Hydrogen(1.4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(chem.Helium()); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.PairListBuilds != 2 || st.PairListReuses != 0 {
+		t.Fatalf("composition change must rebuild, stats %+v", st)
+	}
+}
+
+// TestForcesNSeeded is the FD warm-start satellite gate: displaced SCFs
+// seeded from the central converged density must (a) reproduce the
+// cold-path forces within finite-difference accuracy and (b) take
+// measurably fewer SCF iterations than the cold displaced runs.
+func TestForcesNSeeded(t *testing.T) {
+	mol := chem.LithiumHydride()
+	cfg := sessionCfg()
+	h := 5e-3
+
+	// Cold reference: plain ForcesN, counting iterations by hand.
+	var coldIters int64
+	coldPot := func(dm *chem.Molecule) (float64, error) {
+		res, err := scf.Run(dm, cfg)
+		if err != nil {
+			return 0, err
+		}
+		coldIters += int64(res.Iterations)
+		return res.Energy, nil
+	}
+	coldF, err := ForcesN(mol, coldPot, h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seedF, central, seedIters, err := ForcesNSeeded(mol, cfg, h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !central.Converged {
+		t.Fatal("central SCF did not converge")
+	}
+	for i := range coldF {
+		for c := 0; c < 3; c++ {
+			// Both paths converge to EnergyTol; the FD quotient divides the
+			// residual by h, so agreement is gated at tol/h-scale.
+			if d := math.Abs(seedF[i][c] - coldF[i][c]); d > 1e-5 {
+				t.Fatalf("force[%d][%d]: seeded %g vs cold %g (d=%.3e)", i, c, seedF[i][c], coldF[i][c], d)
+			}
+		}
+	}
+	if seedIters >= coldIters {
+		t.Fatalf("seeded displaced runs took %d iterations, cold %d — no reduction", seedIters, coldIters)
+	}
+	t.Logf("displaced-run SCF iterations: seeded %d vs cold %d", seedIters, coldIters)
+}
+
+// TestSessionForcesMatchColdForces: the session's two-level warm start
+// (ΔP across steps, central density into displacements, shared pair
+// list) must not change the physics — forces at a fresh geometry agree
+// with the cold path.
+func TestSessionForcesMatchColdForces(t *testing.T) {
+	mol := chem.Hydrogen(1.5)
+	cfg := sessionCfg()
+	h := 5e-3
+	coldF, err := ForcesN(mol, SCFPotential(cfg), h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewSession(cfg, SessionOptions{})
+	defer s.Close()
+	// Prime the session at a neighbouring geometry so the test exercises
+	// the warm path, not the first cold run.
+	if _, err := s.Run(chem.Hydrogen(1.48)); err != nil {
+		t.Fatal(err)
+	}
+	f, epot, err := s.Forces(mol, h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := scf.Run(mol, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(epot - cres.Energy); d > 1e-7 {
+		t.Fatalf("session energy off by %.3e Eh", d)
+	}
+	for i := range coldF {
+		for c := 0; c < 3; c++ {
+			if d := math.Abs(f[i][c] - coldF[i][c]); d > 1e-5 {
+				t.Fatalf("force[%d][%d]: session %g vs cold %g", i, c, f[i][c], coldF[i][c])
+			}
+		}
+	}
+	if st := s.Stats(); st.DisplacedRuns != int64(6*mol.NAtoms()) {
+		t.Fatalf("stats %+v: want %d displaced runs", st, 6*mol.NAtoms())
+	}
+}

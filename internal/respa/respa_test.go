@@ -1,0 +1,321 @@
+package respa
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"hfxmd/internal/chem"
+	"hfxmd/internal/ckpt"
+	"hfxmd/internal/md"
+)
+
+// springEval is an analytic all-pairs harmonic surface with exact
+// forces — the full (slow) surface of these tests, so the integrator is
+// exercised without SCF and without finite-difference noise.
+func springEval(k, r0 float64) Evaluator {
+	return func(m *chem.Molecule) (float64, []chem.Vec3, error) {
+		n := m.NAtoms()
+		f := make([]chem.Vec3, n)
+		var e float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				d := m.Atoms[j].Pos.Sub(m.Atoms[i].Pos)
+				r := d.Norm()
+				x := r - r0
+				e += 0.5 * k * x * x
+				// F_j = −k(r−r0)·d̂ (pulls the pair back to r0).
+				for c := 0; c < 3; c++ {
+					g := -k * x * d[c] / r
+					f[j][c] += g
+					f[i][c] -= g
+				}
+			}
+		}
+		return e, f, nil
+	}
+}
+
+// springField is the forces-only form — the cheap reference, with a
+// deliberately different spring constant so F_slow = F_full − F_cheap
+// is non-zero and the slow kicks actually matter.
+func springField(k, r0 float64) ForceField {
+	eval := springEval(k, r0)
+	return func(m *chem.Molecule) ([]chem.Vec3, error) {
+		_, f, err := eval(m)
+		return f, err
+	}
+}
+
+func respaMol() *chem.Molecule { return chem.WaterCluster(2, 3) }
+
+// respaOpts integrates the same total simulated time at every k: the
+// inner timestep is fixed, outer steps shrink as k grows.
+func respaOpts(totalInner, k int) Options {
+	return Options{
+		Steps: totalInner / k, K: k, Dt: 0.25,
+		TemperatureK: 300, Seed: 11,
+	}
+}
+
+const (
+	fullK  = 0.10 // full-surface spring constant
+	cheapK = 0.08 // cheap reference: 20% off, so the correction is real
+	bondR0 = 2.0
+)
+
+func runRESPA(t *testing.T, totalInner, k int, mut func(*Options)) *md.Trajectory {
+	t.Helper()
+	opts := respaOpts(totalInner, k)
+	if mut != nil {
+		mut(&opts)
+	}
+	traj, err := Run(respaMol(), springEval(fullK, bondR0), springField(cheapK, bondR0), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traj
+}
+
+// TestDriftAcrossK is the energy-drift gate: the conserved quantity
+// E_full + E_kin, recorded at outer boundaries, must stay physically
+// small at every split and must not blow up relative to the k=1
+// baseline as the full force is applied 8× less often. The system is
+// the md-layer conservation benchmark (stretched H2 on a bond spring,
+// static start) so the k=1 row inherits its 3e-5 Eh/atom gate; the
+// cheap reference is ~14% off the full surface, so the slow correction
+// — the part integrated at k·δt — is genuinely exercised.
+func TestDriftAcrossK(t *testing.T) {
+	const totalInner = 256
+	mol := chem.Hydrogen(1.5)
+	full := springEval(0.35, 1.4)
+	cheap := springField(0.30, 1.4)
+	drifts := map[int]float64{}
+	for _, k := range []int{1, 2, 4, 8} {
+		traj, err := Run(mol, full, cheap, Options{Steps: totalInner / k, K: k, Dt: 0.25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := totalInner/k + 1; len(traj.Frames) != want {
+			t.Fatalf("k=%d recorded %d frames, want %d (outer boundaries only)", k, len(traj.Frames), want)
+		}
+		drifts[k] = traj.EnergyDrift()
+		t.Logf("k=%d drift %.3e Eh/atom", k, drifts[k])
+	}
+	if drifts[1] > 3e-5 {
+		t.Fatalf("k=1 baseline drift %.3e Eh/atom too large", drifts[1])
+	}
+	// The slow component sees an effective timestep of k·δt, so its
+	// drift contribution grows ~k². Gate each split against that scaling
+	// law with 2x headroom (a sign error or a missed half-kick lands
+	// orders of magnitude above it) plus an absolute ceiling.
+	floor := math.Max(drifts[1], 1e-6)
+	for _, k := range []int{2, 4, 8} {
+		if bound := 2 * float64(k*k) * floor; drifts[k] > bound {
+			t.Fatalf("k=%d drift %.3e exceeds the k^2 scaling bound %.3e", k, drifts[k], bound)
+		}
+		if drifts[k] > 5e-4 {
+			t.Fatalf("k=%d drift %.3e Eh/atom above the absolute ceiling", k, drifts[k])
+		}
+	}
+}
+
+// TestKOneMatchesPlainVerlet: at k=1 the split degenerates to velocity
+// Verlet on the full surface (the two half-kicks are applied in two
+// additions instead of one, so agreement is to rounding, not bitwise).
+func TestKOneMatchesPlainVerlet(t *testing.T) {
+	const steps = 64
+	pot := func(m *chem.Molecule) (float64, error) {
+		e, _, err := springEval(fullK, bondR0)(m)
+		return e, err
+	}
+	// FDEvaluator with the same displacement makes the per-step forces
+	// identical to md.Run's, isolating the integrator arithmetic.
+	opts := respaOpts(steps, 1)
+	traj, err := Run(respaMol(), FDEvaluator(pot, 1e-5, 1), springField(cheapK, bondR0), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := md.Run(respaMol(), pot,
+		md.Options{Steps: steps, Dt: 0.25, TemperatureK: 300, Seed: 11, FDStep: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, rlast := traj.Frames[len(traj.Frames)-1], ref.Frames[len(ref.Frames)-1]
+	if last.Step != rlast.Step {
+		t.Fatalf("step mismatch: %d vs %d", last.Step, rlast.Step)
+	}
+	if d := math.Abs(last.Total - rlast.Total); d > 1e-6 {
+		t.Fatalf("k=1 total energy deviates from plain Verlet by %.3e Eh", d)
+	}
+}
+
+// crashAndResume mirrors the md-layer harness: run with an injected
+// crash, reload the most advanced durable state, finish the trajectory.
+func crashAndResume(t *testing.T, totalInner, k int, plan *ckpt.FaultPlan, every int64) *md.Trajectory {
+	t.Helper()
+	dir := t.TempDir()
+	w, err := ckpt.NewWriter(ckpt.Config{Dir: dir, Every: every, Keep: 3, Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := respaOpts(totalInner, k)
+	opts.Ckpt = w
+	_, err = Run(respaMol(), springEval(fullK, bondR0), springField(cheapK, bondR0), opts)
+	if !errors.Is(err, ckpt.ErrInjectedCrash) {
+		t.Fatalf("want injected crash, got %v", err)
+	}
+	var se *md.StepError
+	if !errors.As(err, &se) || int64(se.Step) != plan.CrashAtStep {
+		t.Fatalf("crash should surface as StepError at step %d, got %v", plan.CrashAtStep, err)
+	}
+	w.Close()
+
+	res, err := ckpt.Load(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State.Slow == nil {
+		t.Fatal("restored RESPA state lost its slow force")
+	}
+	w2, err := ckpt.NewWriter(ckpt.Config{Dir: dir, Every: every, Keep: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	opts = respaOpts(totalInner, k)
+	opts.Ckpt = w2
+	opts.Resume = res.State
+	traj, err := Run(respaMol(), springEval(fullK, bondR0), springField(cheapK, bondR0), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traj
+}
+
+func assertBitwiseEqual(t *testing.T, got, want *ckpt.MDState) {
+	t.Helper()
+	if got == nil || want == nil {
+		t.Fatalf("missing final state (got %v, want %v)", got, want)
+	}
+	if !bytes.Equal(ckpt.EncodeState(got), ckpt.EncodeState(want)) {
+		t.Fatalf("final states differ:\n got step %d epot %x\nwant step %d epot %x",
+			got.Step, math.Float64bits(got.Epot), want.Step, math.Float64bits(want.Epot))
+	}
+}
+
+// TestResumeBitwiseOnOuterBoundary crashes exactly at an outer boundary
+// (step 16 with k=4): the restore point has a fresh slow force and the
+// resumed run must land on the identical final bits.
+func TestResumeBitwiseOnOuterBoundary(t *testing.T) {
+	const totalInner, k = 32, 4
+	ref := runRESPA(t, totalInner, k, nil)
+	got := crashAndResume(t, totalInner, k, &ckpt.FaultPlan{CrashAtStep: 16}, 8)
+	assertBitwiseEqual(t, got.Final, ref.Final)
+	if got.EnergyDrift() != ref.EnergyDrift() {
+		t.Fatal("drift differs after boundary resume")
+	}
+}
+
+// TestResumeBitwiseMidCycle crashes between two outer boundaries (step
+// 18 with k=4, phase 2 of the cycle): the restore carries the cycle's
+// slow force from two steps before, and resume is still bitwise because
+// both forces are stored, not recomputed.
+func TestResumeBitwiseMidCycle(t *testing.T) {
+	const totalInner, k = 32, 4
+	ref := runRESPA(t, totalInner, k, nil)
+	got := crashAndResume(t, totalInner, k, &ckpt.FaultPlan{CrashAtStep: 18}, 7)
+	assertBitwiseEqual(t, got.Final, ref.Final)
+	if got.EnergyDrift() != ref.EnergyDrift() {
+		t.Fatal("drift differs after mid-cycle resume")
+	}
+}
+
+// TestResumeRejectsPlainMDState: a version-1 checkpoint (no slow force)
+// must be refused, not silently integrated with a zero correction.
+func TestResumeRejectsPlainMDState(t *testing.T) {
+	opts := respaOpts(8, 2)
+	ref := runRESPA(t, 8, 2, nil)
+	st := ref.Final.Clone()
+	st.Slow = nil
+	opts.Resume = st
+	if _, err := Run(respaMol(), springEval(fullK, bondR0), springField(cheapK, bondR0), opts); err == nil {
+		t.Fatal("plain-MD state must not resume a RESPA run")
+	}
+}
+
+// TestResumeRejectsDifferentSplit: the params fingerprint covers K and
+// the reference label, so a checkpoint from one split cannot seed
+// another.
+func TestResumeRejectsDifferentSplit(t *testing.T) {
+	ref := runRESPA(t, 8, 2, nil)
+	opts := respaOpts(8, 4)
+	opts.Resume = ref.Final
+	if _, err := Run(respaMol(), springEval(fullK, bondR0), springField(cheapK, bondR0), opts); err == nil {
+		t.Fatal("k=2 checkpoint must not resume a k=4 run")
+	}
+	opts = respaOpts(8, 2)
+	opts.RefLabel = "other"
+	opts.Resume = ref.Final
+	if _, err := Run(respaMol(), springEval(fullK, bondR0), springField(cheapK, bondR0), opts); err == nil {
+		t.Fatal("checkpoint must not resume under a different reference label")
+	}
+}
+
+// TestCancelIdentifiesStep: cancelling mid-campaign surfaces a typed
+// *md.StepError naming the first step that observed the cancellation.
+func TestCancelIdentifiesStep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := respaOpts(64, 4)
+	opts.Ctx = ctx
+	opts.OnOuterStep = func(outer int, _ md.Frame) {
+		if outer == 2 { // after inner step 8
+			cancel()
+		}
+	}
+	_, err := Run(respaMol(), springEval(fullK, bondR0), springField(cheapK, bondR0), opts)
+	var se *md.StepError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *md.StepError, got %v", err)
+	}
+	if se.Step != 9 {
+		t.Fatalf("cancellation surfaced at step %d, want 9 (first step after the cancel)", se.Step)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cause should unwrap to context.Canceled, got %v", err)
+	}
+}
+
+// TestSpringReference exercises the built-in cheap reference: bonded
+// pairs at the initial geometry, restoring force toward the captured
+// r0.
+func TestSpringReference(t *testing.T) {
+	mol := chem.Hydrogen(1.4)
+	ff := SpringReference(mol, 0, 0)
+	stretched := mol.Clone()
+	stretched.Atoms[1].Pos[2] += 0.2
+	f, err := ff(stretched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f[1][2] >= 0 {
+		t.Fatalf("stretched bond must pull atom 1 back (-z), got F_z=%g", f[1][2])
+	}
+	if d := f[0][2] + f[1][2]; math.Abs(d) > 1e-15 {
+		t.Fatalf("spring forces must sum to zero, residual %g", d)
+	}
+	// At the captured geometry the reference force vanishes.
+	f0, err := ff(mol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f0 {
+		for c := 0; c < 3; c++ {
+			if f0[i][c] != 0 {
+				t.Fatalf("nonzero reference force at the captured geometry: %v", f0)
+			}
+		}
+	}
+}

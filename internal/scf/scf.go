@@ -80,6 +80,23 @@ type Config struct {
 	// pin a server worker forever. Nil preserves the pre-context
 	// behaviour. RunContext is the convenience wrapper that sets it.
 	Ctx context.Context
+	// Screening, when non-nil, injects a prebuilt pair list instead of
+	// screening here — the cross-step reuse path for MD, where the shell
+	// structure (and hence every pair index) is geometry-independent for
+	// a fixed composition and basis. The Schwarz bounds inside are then
+	// *stale* relative to the current geometry; the caller owns keeping
+	// the staleness bounded (see md.Session's max-displacement guard).
+	// Integrals themselves are always evaluated at the current geometry.
+	Screening *screen.Result
+	// ExternalBuilder, when non-nil, performs the Fock builds instead of
+	// a builder constructed (and closed) per Run. The caller owns its
+	// lifecycle and must have rebound it to this geometry
+	// (hfx.Builder.Rebind) — across consecutive MD steps this preserves
+	// the worker pool, the task schedule and the semi-direct cache
+	// layout, so the new step's first build refills exactly the admitted
+	// ERI blocks of the previous one. Implies Screening (the builder's
+	// pair list is used).
+	ExternalBuilder *hfx.Builder
 }
 
 func (c *Config) fillDefaults() {
@@ -197,9 +214,19 @@ func Run(mol *chem.Molecule, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("scf: basis too linearly dependent: %d independent functions for %d occupied orbitals", x.Cols, nocc)
 	}
 
-	scr := screen.BuildPairList(eng, cfg.Screen)
-	builder := hfx.NewBuilder(eng, scr, cfg.HFX)
-	defer builder.Close()
+	builder := cfg.ExternalBuilder
+	if builder != nil {
+		if nb := builder.NBasis(); nb != set.NBasis {
+			return nil, fmt.Errorf("scf: external builder is bound to %d basis functions, geometry needs %d", nb, set.NBasis)
+		}
+	} else {
+		scr := cfg.Screening
+		if scr == nil {
+			scr = screen.BuildPairList(eng, cfg.Screen)
+		}
+		builder = hfx.NewBuilder(eng, scr, cfg.HFX)
+		defer builder.Close()
+	}
 
 	var grid *dft.Grid
 	if cfg.Functional.NeedsGrid() {

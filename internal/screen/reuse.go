@@ -1,0 +1,24 @@
+package screen
+
+import "hfxmd/internal/chem"
+
+// MaxDisplacement returns the largest per-atom displacement (bohr)
+// between a reference position snapshot and the molecule's current
+// geometry — the invalidation metric for cross-step pair-list reuse.
+// Schwarz bounds decay smoothly with geometry, so a pair list built at
+// the reference stays a valid screening surrogate while every atom has
+// moved less than a small bound; past it the caller must rebuild. A
+// length mismatch (a different system) returns a huge value so any
+// finite bound forces the rebuild.
+func MaxDisplacement(ref []chem.Vec3, m *chem.Molecule) float64 {
+	if len(ref) != m.NAtoms() {
+		return 1e308
+	}
+	var worst float64
+	for i := range ref {
+		if d := m.Atoms[i].Pos.Sub(ref[i]).Norm(); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -27,6 +27,7 @@ import (
 	"hfxmd/internal/integrals"
 	"hfxmd/internal/linalg"
 	"hfxmd/internal/phys"
+	"hfxmd/internal/respa"
 	"hfxmd/internal/scf"
 	"hfxmd/internal/sched"
 	"hfxmd/internal/screen"
@@ -39,6 +40,7 @@ const (
 	KindBuildJK     = "buildjk"      // one Fock build on the SAD guess density
 	KindScreen      = "screen"       // screening statistics + cost prediction
 	KindSolventScan = "solvent-scan" // Li2O2 approach profile (experiment E8)
+	KindTrajectory  = "trajectory"   // RESPA AIMD campaign (multiple-time-step MD)
 )
 
 // JobRequest is the JSON body of POST /v1/jobs. Exactly one of System or
@@ -90,6 +92,24 @@ type JobRequest struct {
 	Points  int     `json:"points,omitempty"`  // scan points (default 5)
 	RMin    float64 `json:"rmin,omitempty"`    // closest approach, bohr (default 3.4)
 	RMax    float64 `json:"rmax,omitempty"`    // farthest approach, bohr (default 9.0)
+
+	// Trajectory parameters (kind trajectory only): a short RESPA AIMD
+	// campaign on the requested model chemistry.
+	// MaxSteps is the outer-step count — full-force evaluations (default 4).
+	MaxSteps int `json:"maxSteps,omitempty"`
+	// RespaK is the RESPA split: inner (cheap-force) steps per outer
+	// step (default 2; 1 recovers single-time-step BOMD).
+	RespaK int `json:"respaK,omitempty"`
+	// DtFS is the inner timestep in femtoseconds (default 0.5).
+	DtFS float64 `json:"dtFs,omitempty"`
+	// TempK seeds Maxwell–Boltzmann velocities and drives the Berendsen
+	// bath (default 300).
+	TempK float64 `json:"tempK,omitempty"`
+	// Ref selects the cheap reference force: spring|loose|baseline
+	// (default spring).
+	Ref string `json:"ref,omitempty"`
+	// Seed makes velocity initialisation reproducible (default 1).
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // normalize fills defaults in place so that equivalent requests have
@@ -135,12 +155,52 @@ func (r *JobRequest) normalize() {
 			r.RMax = 9.0
 		}
 	}
+	if r.Kind == KindTrajectory {
+		if r.MaxSteps == 0 {
+			r.MaxSteps = 4
+		}
+		if r.RespaK == 0 {
+			r.RespaK = 2
+		}
+		if r.DtFS == 0 {
+			r.DtFS = 0.5
+		}
+		if r.TempK == 0 {
+			r.TempK = 300
+		}
+		if r.Ref == "" {
+			r.Ref = respa.RefSpring
+		}
+		r.Ref = strings.ToLower(r.Ref)
+		if r.Seed == 0 {
+			r.Seed = 1
+		}
+	}
 }
 
 // validate rejects malformed requests before any work is done.
 func (r *JobRequest) validate() error {
 	switch r.Kind {
 	case KindSCF, KindBuildJK, KindScreen:
+	case KindTrajectory:
+		if r.MaxSteps < 1 || r.MaxSteps > maxTrajectorySteps {
+			return fmt.Errorf("trajectory needs 1 <= maxSteps <= %d, got %d", maxTrajectorySteps, r.MaxSteps)
+		}
+		if r.RespaK < 1 || r.RespaK > maxTrajectoryK {
+			return fmt.Errorf("trajectory needs 1 <= respaK <= %d, got %d", maxTrajectoryK, r.RespaK)
+		}
+		if !(r.DtFS > 0) {
+			return fmt.Errorf("trajectory needs dtFs > 0, got %g", r.DtFS)
+		}
+		if r.TempK < 0 {
+			return fmt.Errorf("negative tempK %g", r.TempK)
+		}
+		switch r.Ref {
+		case respa.RefSpring, respa.RefLoose, respa.RefBaseline:
+		default:
+			return fmt.Errorf("unknown trajectory ref %q (want %s, %s or %s)",
+				r.Ref, respa.RefSpring, respa.RefLoose, respa.RefBaseline)
+		}
 	case KindSolventScan:
 		if r.Solvent != "PC" && r.Solvent != "DMSO" {
 			return fmt.Errorf("unknown solvent %q (want PC or DMSO)", r.Solvent)
@@ -182,6 +242,15 @@ func (r *JobRequest) validate() error {
 // goroutine with its own persistent pool, so the limit keeps a single
 // request from monopolising the process.
 const maxJobRanks = 64
+
+// maxTrajectorySteps and maxTrajectoryK bound a trajectory campaign:
+// every outer step costs 6N+1 SCF runs, so an unbounded request could
+// pin a worker for hours. Long campaigns belong in cmd/aimd, where
+// checkpointing makes them resumable.
+const (
+	maxTrajectorySteps = 64
+	maxTrajectoryK     = 16
+)
 
 // resolveMolecule maps the request's geometry selector to a Molecule.
 // For solvent-scan jobs it returns the closest-approach geometry, which
@@ -242,6 +311,10 @@ func (r *JobRequest) cacheKey(mol *chem.Molecule) string {
 		fmt.Fprintf(&sb, "solvent=%s;points=%d;rmin=%.17g;rmax=%.17g;",
 			r.Solvent, r.Points, r.RMin, r.RMax)
 	}
+	if r.Kind == KindTrajectory {
+		fmt.Fprintf(&sb, "maxsteps=%d;k=%d;dt=%.17g;temp=%.17g;ref=%s;seed=%d;",
+			r.MaxSteps, r.RespaK, r.DtFS, r.TempK, r.Ref, r.Seed)
+	}
 	fmt.Fprintf(&sb, "charge=%d;", mol.Charge)
 	if mol.Cell != nil {
 		fmt.Fprintf(&sb, "cell=%.17g,%.17g,%.17g;", mol.Cell.L[0], mol.Cell.L[1], mol.Cell.L[2])
@@ -274,6 +347,7 @@ type JobResult struct {
 	Build  *BuildSummary  `json:"build,omitempty"`
 	Screen *ScreenSummary `json:"screen,omitempty"`
 	Scan   *ScanSummary   `json:"scan,omitempty"`
+	Traj   *TrajSummary   `json:"traj,omitempty"`
 }
 
 // SCFSummary is the shared JSON encoding of a converged SCF result, used
@@ -443,6 +517,13 @@ func prepare(req *JobRequest, threads int, sopts screen.Options, cal *steal.Cali
 		predicted *= scfIterationsEstimate
 	case KindSolventScan:
 		predicted *= scfIterationsEstimate * float64(req.Points)
+	case KindTrajectory:
+		// Each outer step evaluates the full surface once centrally plus
+		// 6N finite-difference displacements, each an SCF. Inner cheap
+		// steps are priced at zero (the spring reference literally is;
+		// the SCF references are bounded by the same term).
+		predicted *= scfIterationsEstimate *
+			float64(req.MaxSteps) * float64(6*mol.NAtoms()+1)
 	case KindScreen:
 		// All the work already happened here at admission.
 		predicted = 0

@@ -27,6 +27,10 @@ type MDSummary struct {
 	WallMS             float64 `json:"wallMs"`
 	WallPerStepMS      float64 `json:"wallPerStepMs"`
 
+	// RespaK is the inner-steps-per-outer-step split of a RESPA run
+	// (absent for plain velocity-Verlet BOMD).
+	RespaK int `json:"respaK,omitempty"`
+
 	// ResumedFromStep is the restore point of a resumed run (absent for
 	// a fresh one); ReplayedSteps counts journal records ahead of the
 	// snapshot the restore absorbed.

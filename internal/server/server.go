@@ -195,12 +195,13 @@ func New(cfg Config) (*Server, error) {
 		// the store visibly reports zero Fock builds (the smoke test's
 		// disk-warm assertion).
 		"hfx.fock_builds",
+		"traj.outer_steps",
 	} {
 		s.reg.Counter(c)
 	}
 	for _, g := range []string{
 		"jobs.queued", "jobs.running", "builders.open", "cache.entries", "cache.bytes",
-		"calib.epoch", "calib.observations", "calib.err_milli",
+		"calib.epoch", "calib.observations", "calib.err_milli", "traj.last_step",
 	} {
 		s.reg.Gauge(g)
 	}
@@ -589,6 +590,8 @@ func (s *Server) execute(st *workerState, j *job) *JobResult {
 		return s.runScreen(j)
 	case KindSolventScan:
 		return s.runScan(j)
+	case KindTrajectory:
+		return s.runTrajectory(j)
 	default: // unreachable: validate rejected it
 		return &JobResult{State: StateFailed, Error: "unknown kind " + j.req.Kind}
 	}
@@ -939,7 +942,7 @@ func (s *Server) newHitID() string {
 func (s *Server) handleSystems(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"systems": []string{"water", "h2", "he", "lih", "lif", "ch4", "pc", "dmso", "li2o2", "watercluster"},
-		"kinds":   []string{KindSCF, KindBuildJK, KindScreen, KindSolventScan},
+		"kinds":   []string{KindSCF, KindBuildJK, KindScreen, KindSolventScan, KindTrajectory},
 	})
 }
 

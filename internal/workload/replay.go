@@ -118,6 +118,21 @@ func resultSignature(res *server.JobResult) uint64 {
 			wf(p.Energy)
 		}
 		wf(res.Scan.WellKcal)
+	case res.Traj != nil:
+		t := res.Traj
+		wi(int64(t.NAtoms))
+		wi(int64(t.OuterSteps))
+		wi(int64(t.RespaK))
+		h.Write([]byte(t.Ref))
+		for _, p := range t.Steps {
+			wi(int64(p.Step))
+			wf(p.Potential)
+			wf(p.Total)
+		}
+		wf(t.DriftPerAtom)
+		// The final restartable state, bit for bit (WallMS and the reuse
+		// counters are deliberately excluded — timing and cache state vary).
+		h.Write([]byte(t.FinalStateSha256))
 	}
 	return h.Sum64()
 }

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Benchmark multiple-time-step AIMD (hfxscale -exp m1) and emit
+# BENCH_mts.json: SCF iterations per inner step and per-atom energy
+# drift at RESPA k ∈ {1, 2, 4} over the same simulated time span, the
+# cold-per-step baseline and the warm/cold reuse ratio, and the
+# mid-cycle crash/resume sha256 pair. The run aborts itself if any
+# acceptance gate fails — the k² drift bound, the committed warm/cold
+# reuse factor, or bitwise resume identity — so a written file is a
+# passing file. This is the committed bench baseline scripts/check.sh
+# re-validates.
+#
+# Usage: scripts/bench_mts.sh [output.json]
+# M1_STEPS overrides the simulated time span (default 16 inner steps).
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_mts.json}"
+
+go run ./cmd/hfxscale -exp m1 -m1-steps "${M1_STEPS:-16}" -m1-out "$out"

@@ -32,6 +32,15 @@
 # must beat static measured balance under >=20% mispredicts plus a
 # straggler rank, every arm must stay bitwise identical, and the final
 # build's calibrated prediction error must undercut the raw cost model.
+# The RESPA multiple-time-step layer gets a race pass (the k-sweep drift
+# gates, bitwise resume on and between outer boundaries, the cross-step
+# session's warm-start/invalidation tests, the hfxd trajectory job),
+# a SIGKILL crash-restart smoke over a k=2 campaign (scripts/smoke_mts.sh,
+# resume must land bitwise on the uninterrupted reference), and the full
+# m1 gate run: the k=4 drift must stay within the committed k^2 bound of
+# the k=1 baseline, the warm/cold SCF-iteration ratio must undercut the
+# committed reuse factor, and the in-process mid-cycle crash/resume must
+# be bitwise identical.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -115,6 +124,26 @@ go test -race -count=1 ./internal/fleet/ -run 'TestFleetPriceMemo|TestFleetRouti
 w1_json="$(mktemp)"
 go run ./cmd/hfxscale -exp w1 -w1-out "$w1_json"
 rm -f "$w1_json"
+
+# RESPA multiple time stepping: race pass over the integrator (drift
+# across k, bitwise resume on and between outer boundaries, split
+# fingerprint rejection), the cross-step session (ΔP warm start,
+# pair-list invalidation bound, seeded FD displacements), and the hfxd
+# trajectory job (streamed steps, cancel-names-step, journal replay).
+go test -race -count=1 ./internal/respa/
+go test -race -count=1 ./internal/md/ -run 'TestSession|TestForcesNSeeded'
+go test -race -count=1 ./internal/ckpt/ -run 'TestRespa|TestPlainStateImageUnchanged'
+go test -race -count=1 ./internal/server/ -run 'TestServerTrajectory'
+# SIGKILL crash-restart smoke over a k=2 campaign: the resumed run's
+# final state hash must equal the uninterrupted reference — bitwise.
+scripts/smoke_mts.sh
+# M1 gate run: aborts itself if the k=4 drift breaks the k^2 bound (or
+# the absolute ceiling), if the warm/cold SCF-iteration ratio misses
+# the committed reuse factor, or if the mid-cycle crash/resume is not
+# bitwise identical to the uninterrupted reference.
+m1_json="$(mktemp)"
+scripts/bench_mts.sh "$m1_json"
+rm -f "$m1_json"
 
 # Fock bench regression gate against the committed baseline.
 fresh="$(mktemp)"
